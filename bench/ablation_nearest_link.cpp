@@ -1,0 +1,228 @@
+// Ablation: the nearest link design choices (Section III-B).
+//
+//   1. Assignment strategy — Algorithm 1's greedy vs the exact
+//      (Hungarian) assignment vs per-row argmin (KNN-style, reuse
+//      allowed): candidate precision, distinct-candidate count, total
+//      link distance, wall time.
+//   2. Feature weighting — the paper's max-abs weights vs z-score vs no
+//      weighting: candidate precision of the greedy search under each.
+//   3. Search-range scaling — candidate precision as the pool grows
+//      (the paper's "larger search range enables a higher ratio" claim,
+//      measured densely rather than at two points).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+#include "core/distance.h"
+#include "core/incremental.h"
+#include "core/nearest_link.h"
+
+namespace {
+
+using namespace patchdb;
+using Clock = std::chrono::steady_clock;
+
+double precision_of(const corpus::World& world,
+                    const std::vector<const corpus::CommitRecord*>& pool,
+                    const std::vector<std::size_t>& candidates) {
+  if (candidates.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t idx : candidates) {
+    hits += world.oracle.truth(pool[idx]->patch.commit).is_security;
+  }
+  return static_cast<double>(hits) / static_cast<double>(candidates.size());
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Ablation — nearest link design choices", scale);
+
+  corpus::WorldConfig config;
+  config.repos = 40;
+  config.nvd_security = bench::scaled(250, scale);
+  config.wild_pool = bench::scaled(12000, scale);
+  config.wild_security_rate = 0.08;
+  config.keep_nvd_snapshots = false;
+  config.seed = 90909;
+  corpus::World world = corpus::build_world(config);
+
+  const auto seed_ptrs = bench::as_pointers(world.nvd_security);
+  const auto pool_ptrs = bench::as_pointers(world.wild);
+  const feature::FeatureMatrix sec = bench::features_of(seed_ptrs);
+  const feature::FeatureMatrix pool = bench::features_of(pool_ptrs);
+
+  // ---- 1. Assignment strategy.
+  {
+    const core::DistanceMatrix d = core::distance_matrix(sec, pool);
+
+    util::Table table("Assignment strategy (same weighted distance matrix)");
+    table.set_header({"Strategy", "Candidates", "Distinct", "Total distance",
+                      "Precision", "Time (ms)"});
+
+    auto report = [&](const char* name, auto&& solver) {
+      const auto start = Clock::now();
+      const core::LinkResult link = solver(d);
+      const double elapsed = ms_since(start);
+      const std::set<std::size_t> distinct(link.candidate.begin(),
+                                           link.candidate.end());
+      table.add_row({name, std::to_string(link.candidate.size()),
+                     std::to_string(distinct.size()),
+                     util::format_double(link.total_distance, 1),
+                     util::format_percent(
+                         precision_of(world, pool_ptrs, link.candidate), 1),
+                     util::format_double(elapsed, 1)});
+    };
+    report("greedy (Algorithm 1)", core::nearest_link_search);
+    report("exact assignment", core::exact_assignment);
+    report("per-row argmin (KNN-like)", core::row_argmin);
+    std::printf("%s", table.render().c_str());
+    std::printf("  the greedy total distance should sit within a few %% of the\n"
+                "  exact optimum at a fraction of the cost; per-row argmin reuses\n"
+                "  candidates, shrinking the distinct set (the paper's KNN contrast)\n\n");
+  }
+
+  // ---- 2. Feature weighting.
+  {
+    util::Table table("Feature weighting (greedy assignment)");
+    table.set_header({"Weighting", "Precision"});
+
+    auto run_with = [&](const char* name, std::vector<double> weights) {
+      const core::DistanceMatrix d = core::distance_matrix(sec, pool, weights);
+      const core::LinkResult link = core::nearest_link_search(d);
+      table.add_row({name, util::format_percent(
+                               precision_of(world, pool_ptrs, link.candidate), 1)});
+    };
+
+    run_with("max-abs (paper, Sec. III-B.2)", core::maxabs_weights(sec, pool));
+
+    // z-score weights: 1/stddev per dimension over the union.
+    {
+      std::vector<double> mean(feature::kFeatureCount, 0.0);
+      std::vector<double> var(feature::kFeatureCount, 0.0);
+      const double n = static_cast<double>(sec.rows() + pool.rows());
+      auto accumulate_mean = [&](const feature::FeatureMatrix& m) {
+        for (const auto& row : m) {
+          for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+            mean[j] += row[j];
+          }
+        }
+      };
+      accumulate_mean(sec);
+      accumulate_mean(pool);
+      for (double& m : mean) m /= n;
+      auto accumulate_var = [&](const feature::FeatureMatrix& m) {
+        for (const auto& row : m) {
+          for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+            const double d = row[j] - mean[j];
+            var[j] += d * d;
+          }
+        }
+      };
+      accumulate_var(sec);
+      accumulate_var(pool);
+      std::vector<double> weights(feature::kFeatureCount, 1.0);
+      for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+        const double sd = std::sqrt(var[j] / n);
+        if (sd > 0.0) weights[j] = 1.0 / sd;
+      }
+      run_with("z-score (1/stddev)", std::move(weights));
+    }
+
+    run_with("unweighted (raw Euclidean)",
+             std::vector<double>(feature::kFeatureCount, 1.0));
+    std::printf("%s", table.render().c_str());
+    std::printf("  unweighted distances are dominated by large-scale dimensions\n"
+                "  (character counts), which is why Sec. III-B.2 normalizes\n\n");
+  }
+
+  // ---- 3. Search-range scaling.
+  {
+    util::Table table("Search range vs candidate precision (greedy)");
+    table.set_header({"Pool size", "Precision"});
+    for (const double fraction : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+      const std::size_t n =
+          static_cast<std::size_t>(fraction * static_cast<double>(pool.rows()));
+      if (n < sec.rows()) continue;
+      feature::FeatureMatrix sub(n);
+      for (std::size_t i = 0; i < n; ++i) sub[i] = pool[i];
+      const core::DistanceMatrix d = core::distance_matrix(sec, sub);
+      const core::LinkResult link = core::nearest_link_search(d);
+      table.add_row({util::human_count(n),
+                     util::format_percent(
+                         precision_of(world, pool_ptrs, link.candidate), 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("  paper: Set II/III (200K) reach 29-30%% vs Set I (100K) 16-25%% —\n"
+                "  a larger range offers closer neighbors, so precision rises\n\n");
+  }
+
+  // ---- 4. Multi-round cost: full recompute vs the incremental linker.
+  {
+    const std::size_t rounds = 3;
+    const std::vector<double> weights = core::maxabs_weights(sec, pool);
+
+    // Batch: recompute the full matrix every round (pool additionally
+    // shrinks each round in the real loop; keeping it fixed here isolates
+    // the recompute cost).
+    double batch_ms = 0.0;
+    {
+      feature::FeatureMatrix seeds = sec;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        const auto start = Clock::now();
+        const core::DistanceMatrix d = core::distance_matrix(seeds, pool, weights);
+        const core::LinkResult link = core::nearest_link_search(d);
+        batch_ms += ms_since(start);
+        // Grow the seed set by the round's security finds.
+        for (std::size_t idx : link.candidate) {
+          if (world.oracle.truth(pool_ptrs[idx]->patch.commit).is_security) {
+            seeds.push_back(pool[idx]);
+          }
+        }
+      }
+    }
+
+    // Incremental: cached neighborhoods, only new seeds cost row scans.
+    double incremental_ms = 0.0;
+    std::size_t scans = 0;
+    {
+      core::IncrementalLinker linker(/*k=*/24);
+      linker.set_pool(pool, weights);
+      linker.add_seeds(sec);
+      for (std::size_t r = 0; r < rounds; ++r) {
+        const auto start = Clock::now();
+        const core::LinkResult link = linker.link();
+        incremental_ms += ms_since(start);
+        feature::FeatureMatrix found(0);
+        for (std::size_t idx : link.candidate) {
+          if (world.oracle.truth(pool_ptrs[idx]->patch.commit).is_security) {
+            found.push_back(pool[idx]);
+          }
+        }
+        linker.remove_from_pool(link.candidate);
+        const auto add_start = Clock::now();
+        linker.add_seeds(found);
+        incremental_ms += ms_since(add_start);
+      }
+      scans = linker.row_scans();
+    }
+
+    util::Table table("Multi-round linking cost (3 rounds, growing seed set)");
+    table.set_header({"Strategy", "Total time (ms)", "Full row scans"});
+    table.add_row({"full recompute per round", util::format_double(batch_ms, 1),
+                   "M x rounds (implicit)"});
+    table.add_row({"incremental linker", util::format_double(incremental_ms, 1),
+                   std::to_string(scans)});
+    std::printf("%s", table.render().c_str());
+    std::printf("  the incremental linker scans each seed's row once and pays\n"
+                "  only for newly-labeled seeds afterwards\n");
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Extension experiment: why text mining is not enough (paper Sec. I).
+//
+// "A straightforward method to identify security patches is to analyze
+// the literal descriptions ... However, such identification methods are
+// error-prone due to the poor quality of the textual information. For
+// instance, 61% of security patches for the Linux kernel do not mention
+// security impacts."
+//
+// The simulated corpus encodes exactly that: NVD-referenced fixes carry
+// descriptive messages (often naming the CVE), while 61% of wild silent
+// fixes are euphemized ("handle edge case", "small fix"). This bench
+// evaluates three identifiers on both populations:
+//   - keyword matching on the message,
+//   - multinomial naive Bayes on message words,
+//   - Random Forest on the Table I CODE features (PatchDB's approach).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "text/textmine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace patchdb;
+
+struct Labeled {
+  std::vector<const corpus::CommitRecord*> records;
+  std::vector<int> labels;
+};
+
+ml::Confusion score(const std::vector<int>& truth, const std::vector<int>& pred) {
+  return ml::confusion(truth, pred);
+}
+
+std::string pr(const ml::Confusion& c) {
+  return util::format_percent(c.precision(), 0) + " / " +
+         util::format_percent(c.recall(), 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Extension — text mining vs code features (Sec. I)", scale);
+
+  // NVD world (descriptive, CVE-tagged messages) + wild world (61%
+  // euphemized security fixes).
+  corpus::WorldConfig config;
+  config.repos = 40;
+  config.nvd_security = bench::scaled(500, scale);
+  config.wild_pool = bench::scaled(8000, scale);
+  config.wild_security_rate = 0.08;
+  config.keep_nvd_snapshots = false;
+  config.seed = 616161;
+  const corpus::World world = corpus::build_world(config);
+
+  const std::vector<corpus::CommitRecord> nonsec = bench::make_nonsecurity_set(
+      bench::scaled(1000, scale), 617, false, /*defensive_share=*/0.10);
+
+  // The NVD-side security messages as crawled (CVE-enriched) live in
+  // world.nvd_security; wild messages as committed.
+  // Train on the NVD-based dataset (what a text miner would have).
+  std::vector<std::string> train_messages;
+  std::vector<int> train_labels;
+  std::vector<std::vector<double>> train_rows;
+  for (const corpus::CommitRecord& r : world.nvd_security) {
+    train_messages.push_back(r.patch.message);
+    train_labels.push_back(1);
+    const feature::FeatureVector v = feature::extract(r.patch);
+    train_rows.emplace_back(v.begin(), v.end());
+  }
+  for (const corpus::CommitRecord& r : nonsec) {
+    train_messages.push_back(r.patch.message);
+    train_labels.push_back(0);
+    const feature::FeatureVector v = feature::extract(r.patch);
+    train_rows.emplace_back(v.begin(), v.end());
+  }
+
+  text::TextNaiveBayes nb;
+  nb.fit(train_messages, train_labels);
+  ml::RandomForest forest;
+  forest.fit(ml::Dataset(train_rows, train_labels), 7);
+
+  // Test populations: (a) held-out NVD-style (fresh world, same config),
+  // (b) the wild pool with its silent fixes.
+  corpus::WorldConfig holdout_config = config;
+  holdout_config.nvd_security = bench::scaled(250, scale);
+  holdout_config.wild_pool = 10;
+  holdout_config.seed = 626262;
+  const corpus::World holdout = corpus::build_world(holdout_config);
+  const std::vector<corpus::CommitRecord> holdout_nonsec =
+      bench::make_nonsecurity_set(bench::scaled(500, scale), 627, false, 0.10);
+
+  auto evaluate = [&](const std::vector<const corpus::CommitRecord*>& records,
+                      const std::vector<int>& truth) {
+    std::vector<int> kw;
+    std::vector<int> nbp;
+    std::vector<int> rf;
+    for (const corpus::CommitRecord* r : records) {
+      kw.push_back(text::mentions_security(r->patch.message) ? 1 : 0);
+      nbp.push_back(nb.predict(r->patch.message));
+      const feature::FeatureVector v = feature::extract(r->patch);
+      rf.push_back(forest.predict(std::vector<double>(v.begin(), v.end())));
+    }
+    return std::array<ml::Confusion, 3>{score(truth, kw), score(truth, nbp),
+                                        score(truth, rf)};
+  };
+
+  // (a) NVD-style test set.
+  Labeled nvd_test;
+  for (const auto& r : holdout.nvd_security) {
+    nvd_test.records.push_back(&r);
+    nvd_test.labels.push_back(1);
+  }
+  for (const auto& r : holdout_nonsec) {
+    nvd_test.records.push_back(&r);
+    nvd_test.labels.push_back(0);
+  }
+  const auto on_nvd = evaluate(nvd_test.records, nvd_test.labels);
+
+  // (b) wild pool (silent fixes + security-sounding hardening commits).
+  Labeled wild_test;
+  std::size_t silent = 0;
+  std::size_t wild_sec = 0;
+  for (const auto& r : world.wild) {
+    wild_test.records.push_back(&r);
+    wild_test.labels.push_back(r.truth.is_security ? 1 : 0);
+    if (r.truth.is_security) {
+      ++wild_sec;
+      silent += !text::mentions_security(r.patch.message);
+    }
+  }
+  const auto on_wild = evaluate(wild_test.records, wild_test.labels);
+
+  std::printf("silent security fixes in the wild: %.0f%% mention nothing "
+              "security-related (paper: 61%% for Linux)\n\n",
+              100.0 * static_cast<double>(silent) / static_cast<double>(wild_sec));
+
+  util::Table table("Identification precision / recall by input signal");
+  table.set_header({"Method", "Signal", "NVD-style test", "Wild test"});
+  table.add_row({"keyword match", "message", pr(on_nvd[0]), pr(on_wild[0])});
+  table.add_row({"naive Bayes", "message", pr(on_nvd[1]), pr(on_wild[1])});
+  table.add_row({"Random Forest", "code (Table I)", pr(on_nvd[2]), pr(on_wild[2])});
+  std::printf("%s", table.render().c_str());
+  std::printf("  text methods have a hard recall CEILING on the wild: the\n"
+              "  euphemized silent fixes carry no lexical signal at all, so the\n"
+              "  best message classifier tops out near the non-silent share.\n"
+              "  code features see every fix but drown in hardening mimics\n"
+              "  (low precision) — which is exactly why the paper pairs\n"
+              "  code-feature candidate selection with human verification\n"
+              "  (Table II) instead of trusting either signal alone\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Extension experiment: automatic security-patch TYPE classification
+// under the long-tail imbalance the paper measures (Section IV-D).
+//
+// The NVD-based dataset follows a long-tail type distribution, so "there
+// is not enough data for tail classes [and] machine learning would not
+// perform well when handling those minority instances. The wild-based
+// dataset solves this problem to a certain extent by introducing more
+// varieties." This bench makes that concrete: a one-vs-rest Random
+// Forest over Table I features is trained (a) on an NVD-like long-tail
+// sample and (b) on the same sample plus wild-like finds, then evaluated
+// per type on a balanced test set. The rule-based categorizer provides
+// the knowledge-engineering reference point (companion work [33] builds
+// the ML version once the dataset is large enough).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/categorize.h"
+#include "ml/forest.h"
+#include "ml/multiclass.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace patchdb;
+
+void append_sample(ml::MultiDataset& data, util::Rng& rng,
+                   const corpus::TypeDistribution& dist, std::size_t n,
+                   std::vector<corpus::CommitRecord>* keep = nullptr) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = rng.weighted(std::span(dist.data(), dist.size()));
+    const auto record =
+        corpus::make_commit(rng, "bench", corpus::security_types()[t]);
+    const feature::FeatureVector v = feature::extract(record.patch);
+    data.rows.emplace_back(v.begin(), v.end());
+    data.labels.push_back(static_cast<int>(t));
+    if (keep != nullptr) keep->push_back(record);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header(
+      "Extension — type classification under long-tail imbalance (Sec. IV-D)",
+      scale);
+
+  util::Rng rng(121212);
+  const int classes = static_cast<int>(corpus::kSecurityTypeCount);
+
+  // (a) NVD-like long-tail training sample.
+  ml::MultiDataset nvd_train;
+  nvd_train.classes = classes;
+  append_sample(nvd_train, rng, corpus::nvd_type_distribution(),
+                bench::scaled(500, scale));
+
+  // (b) plus wild-like finds (reshuffled distribution, richer tail).
+  ml::MultiDataset combined_train = nvd_train;
+  append_sample(combined_train, rng, corpus::wild_type_distribution(),
+                bench::scaled(800, scale));
+
+  // Balanced test set (the deployment condition: every type matters).
+  ml::MultiDataset test;
+  test.classes = classes;
+  std::vector<corpus::CommitRecord> test_records;
+  const std::size_t per_type_test = bench::scaled(30, scale);
+  for (std::size_t rep = 0; rep < per_type_test; ++rep) {
+    for (std::size_t t = 0; t < corpus::kSecurityTypeCount; ++t) {
+      test_records.push_back(
+          corpus::make_commit(rng, "bench", corpus::security_types()[t]));
+      const feature::FeatureVector v = feature::extract(test_records.back().patch);
+      test.rows.emplace_back(v.begin(), v.end());
+      test.labels.push_back(static_cast<int>(t));
+    }
+  }
+
+  auto train_and_predict = [&](const ml::MultiDataset& train) {
+    ml::OneVsRest ovr([] {
+      ml::ForestOptions opt;
+      opt.trees = 32;
+      return std::make_unique<ml::RandomForest>(opt);
+    });
+    ovr.fit(train, 7);
+    std::vector<int> predicted;
+    predicted.reserve(test.rows.size());
+    for (const auto& row : test.rows) predicted.push_back(ovr.predict(row));
+    return predicted;
+  };
+
+  const std::vector<int> nvd_pred = train_and_predict(nvd_train);
+  const std::vector<int> combined_pred = train_and_predict(combined_train);
+  std::vector<int> rule_pred;
+  for (const auto& record : test_records) {
+    const corpus::PatchType rule = core::categorize(record.patch);
+    rule_pred.push_back(corpus::is_security_type(rule)
+                            ? static_cast<int>(rule) - 1
+                            : classes - 1);
+  }
+
+  const ml::MultiMetrics nvd_m = ml::multi_metrics(test.labels, nvd_pred, classes);
+  const ml::MultiMetrics com_m =
+      ml::multi_metrics(test.labels, combined_pred, classes);
+  const ml::MultiMetrics rule_m =
+      ml::multi_metrics(test.labels, rule_pred, classes);
+
+  // Training-set composition per type, to show where the tail starts.
+  std::vector<std::size_t> nvd_counts(static_cast<std::size_t>(classes), 0);
+  for (int label : nvd_train.labels) {
+    ++nvd_counts[static_cast<std::size_t>(label)];
+  }
+
+  util::Table table(
+      "Per-type recall on a balanced test set (long-tail vs augmented training)");
+  table.set_header({"ID", "Pattern", "NVD train n", "NVD-only recall",
+                    "NVD+Wild recall", "Rules"});
+  for (std::size_t t = 0; t < corpus::kSecurityTypeCount; ++t) {
+    table.add_row({std::to_string(t + 1),
+                   std::string(corpus::patch_type_name(corpus::security_types()[t])),
+                   std::to_string(nvd_counts[t]),
+                   util::format_percent(nvd_m.per_class_recall[t], 0),
+                   util::format_percent(com_m.per_class_recall[t], 0),
+                   util::format_percent(rule_m.per_class_recall[t], 0)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("  overall accuracy: NVD-only %s -> NVD+Wild %s (rules %s, chance 8.3%%)\n",
+              util::format_percent(nvd_m.accuracy, 1).c_str(),
+              util::format_percent(com_m.accuracy, 1).c_str(),
+              util::format_percent(rule_m.accuracy, 1).c_str());
+  std::printf("  paper (Sec. IV-D): the wild-based dataset 'alleviates the\n"
+              "  imbalance by introducing more instances in the tail'\n");
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Micro-benchmarks (google-benchmark) for the algorithmic kernels:
+// Levenshtein, the lexer, feature extraction, distance-matrix
+// construction, nearest link search (greedy vs exact ablation), Myers
+// diff, commit fabrication, patch synthesis, and GRU inference.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/categorize.h"
+#include "core/distance.h"
+#include "core/nearest_link.h"
+#include "corpus/repo.h"
+#include "diff/myers.h"
+#include "feature/features.h"
+#include "lang/lexer.h"
+#include "nn/encode.h"
+#include "nn/gru.h"
+#include "nn/vocab.h"
+#include "synth/synthesize.h"
+#include "util/levenshtein.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace patchdb;
+
+std::string random_code_line(util::Rng& rng, std::size_t tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens; ++i) {
+    out += "var" + std::to_string(rng.index(40)) + " = call" +
+           std::to_string(rng.index(9)) + "(x) + " + std::to_string(rng.index(100)) +
+           "; ";
+  }
+  return out;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  util::Rng rng(1);
+  const std::string a = random_code_line(rng, static_cast<std::size_t>(state.range(0)));
+  const std::string b = random_code_line(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::levenshtein(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_Levenshtein)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LevenshteinBounded(benchmark::State& state) {
+  util::Rng rng(2);
+  const std::string a = random_code_line(rng, 64);
+  const std::string b = random_code_line(rng, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::levenshtein_bounded(a, b, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_LevenshteinBounded)->Arg(8)->Arg(64);
+
+void BM_Lexer(benchmark::State& state) {
+  util::Rng rng(3);
+  const std::string code = random_code_line(rng, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::lex(code));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(code.size()));
+}
+BENCHMARK(BM_Lexer);
+
+corpus::CommitRecord sample_commit(std::uint64_t seed,
+                                   corpus::PatchType type,
+                                   bool snapshots = false) {
+  util::Rng rng(seed);
+  corpus::CommitOptions opt;
+  opt.keep_snapshots = snapshots;
+  return corpus::make_commit(rng, "bench", type, opt);
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const corpus::CommitRecord record =
+      sample_commit(11, corpus::PatchType::kRedesign);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feature::extract(record.patch));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_MakeCommit(benchmark::State& state) {
+  util::Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        corpus::make_commit(rng, "bench", corpus::PatchType::kBoundCheck));
+  }
+}
+BENCHMARK(BM_MakeCommit);
+
+void BM_MyersDiff(benchmark::State& state) {
+  util::Rng rng(17);
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    a.push_back("line " + std::to_string(rng.index(50)));
+    b.push_back(rng.chance(0.8) && i < a.size() ? a[i]
+                                                : "edit " + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff::diff_lines(a, b));
+  }
+}
+BENCHMARK(BM_MyersDiff)->Arg(50)->Arg(200);
+
+feature::FeatureMatrix random_features(std::size_t rows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  feature::FeatureMatrix m(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+      m[i][j] = rng.uniform(-10, 10);
+    }
+  }
+  return m;
+}
+
+void BM_DistanceMatrix(benchmark::State& state) {
+  const auto sec = random_features(static_cast<std::size_t>(state.range(0)), 1);
+  const auto wild = random_features(static_cast<std::size_t>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::distance_matrix(sec, wild));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_DistanceMatrix)->Args({100, 2000})->Args({400, 8000});
+
+void BM_NearestLinkGreedy(benchmark::State& state) {
+  const auto sec = random_features(static_cast<std::size_t>(state.range(0)), 3);
+  const auto wild = random_features(static_cast<std::size_t>(state.range(1)), 4);
+  const core::DistanceMatrix d = core::distance_matrix(sec, wild);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::nearest_link_search(d));
+  }
+}
+BENCHMARK(BM_NearestLinkGreedy)->Args({100, 2000})->Args({400, 8000});
+
+void BM_ExactAssignment(benchmark::State& state) {
+  // The O(m^2 n) exact solver: ablation scale only.
+  const auto sec = random_features(static_cast<std::size_t>(state.range(0)), 5);
+  const auto wild = random_features(static_cast<std::size_t>(state.range(1)), 6);
+  const core::DistanceMatrix d = core::distance_matrix(sec, wild);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exact_assignment(d));
+  }
+}
+BENCHMARK(BM_ExactAssignment)->Args({50, 500})->Args({100, 1000});
+
+void BM_Categorize(benchmark::State& state) {
+  const corpus::CommitRecord record =
+      sample_commit(23, corpus::PatchType::kFuncCall);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::categorize(record.patch));
+  }
+}
+BENCHMARK(BM_Categorize);
+
+void BM_SynthesizePatch(benchmark::State& state) {
+  const corpus::CommitRecord record =
+      sample_commit(29, corpus::PatchType::kBoundCheck, /*snapshots=*/true);
+  synth::SynthesisOptions opt;
+  opt.max_per_patch = 4;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::synthesize(record, opt, ++seed));
+  }
+}
+BENCHMARK(BM_SynthesizePatch);
+
+void BM_GruInference(benchmark::State& state) {
+  nn::SequenceDataset train;
+  util::Rng rng(31);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<std::int32_t> seq;
+    for (int t = 0; t < 64; ++t) {
+      seq.push_back(static_cast<std::int32_t>(2 + rng.index(100)));
+    }
+    train.sequences.push_back(std::move(seq));
+    train.labels.push_back(i % 2);
+  }
+  nn::GruOptions opt;
+  opt.epochs = 1;
+  nn::GruClassifier gru(opt);
+  gru.fit(train, 102, 1);
+  const std::vector<std::int32_t>& probe = train.sequences[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.predict_score(probe));
+  }
+}
+BENCHMARK(BM_GruInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,215 @@
+// Reproduces Table IV: "Performance w/o or w/ synthetic patches".
+//
+// Paper protocol: train the RNN token classifier on (a) the NVD-based
+// dataset alone, (b) NVD + its source-level synthetic dataset, (c) the
+// NVD+wild natural dataset, (d) NVD+wild + synthetic. Synthetic patches
+// are generated from the TRAINING split only; the test split stays
+// natural. Paper: NVD 82.1/84.8 -> 86.0/87.2 with synthetic (clear
+// gain); NVD+wild 92.9/61.1 -> 93.0/61.2 (no real gain). SMOTE (feature
+// space) shows no obvious improvement either; an extra section reports
+// the SMOTE ablation with a Random Forest.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "ml/smote.h"
+#include "synth/synthesize.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace patchdb;
+
+struct SplitRecords {
+  std::vector<const corpus::CommitRecord*> train;
+  std::vector<const corpus::CommitRecord*> test;
+};
+
+SplitRecords split_80_20(const std::vector<const corpus::CommitRecord*>& records,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  SplitRecords out;
+  const std::size_t n_train = records.size() * 8 / 10;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (i < n_train ? out.train : out.test).push_back(records[order[i]]);
+  }
+  return out;
+}
+
+struct TokenCorpus {
+  nn::SequenceDataset data;
+  std::vector<std::vector<std::string>> docs;  // kept for vocab building
+};
+
+void add_patch(TokenCorpus& corpus_out, const diff::Patch& patch, int label) {
+  corpus_out.docs.push_back(nn::patch_tokens(patch));
+  corpus_out.data.labels.push_back(label);
+}
+
+/// Encode all docs once the vocabulary is final.
+void finalize(TokenCorpus& corpus_out, const nn::Vocabulary& vocab) {
+  corpus_out.data.sequences.clear();
+  for (const auto& doc : corpus_out.docs) {
+    corpus_out.data.sequences.push_back(vocab.encode(doc));
+  }
+}
+
+ml::Confusion run_rnn(const TokenCorpus& train_corpus, TokenCorpus test_corpus,
+                      std::uint64_t seed) {
+  const nn::Vocabulary vocab = nn::Vocabulary::build(train_corpus.docs, 2, 1500);
+  TokenCorpus train = train_corpus;
+  finalize(train, vocab);
+  finalize(test_corpus, vocab);
+
+  nn::GruOptions opt;
+  opt.embed_dim = 12;
+  opt.hidden_dim = 20;
+  opt.epochs = 5;
+  opt.max_len = 128;
+  nn::GruClassifier gru(opt);
+  gru.fit(train.data, vocab.size(), seed);
+
+  const std::vector<int> pred = gru.predict_all(test_corpus.data);
+  return ml::confusion(test_corpus.data.labels, pred);
+}
+
+std::string pct(double v) { return util::format_percent(v, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Table IV — usefulness of synthetic patches (RQ3)", scale);
+
+  const std::size_t nvd_sec = bench::scaled(500, scale);
+  const std::size_t nvd_nonsec = bench::scaled(1000, scale);
+  const std::size_t wild_sec = bench::scaled(1000, scale);
+  const std::size_t wild_nonsec = bench::scaled(2000, scale);
+
+  // --- Assemble the natural datasets (snapshots kept for synthesis).
+  corpus::WorldConfig config;
+  config.repos = 40;
+  config.nvd_security = nvd_sec;
+  config.wild_pool = wild_sec;       // reused as the wild SECURITY set
+  config.wild_security_rate = 1.0;   // every "wild" commit is a security fix
+  config.keep_nvd_snapshots = true;
+  config.keep_wild_snapshots = true;
+  config.seed = 44044;
+  const corpus::World world = corpus::build_world(config);
+
+  const std::vector<corpus::CommitRecord> nvd_nonsec_set = bench::make_nonsecurity_set(
+      nvd_nonsec, 501, /*keep_snapshots=*/true, /*defensive_share=*/0.12);
+  const std::vector<corpus::CommitRecord> wild_nonsec_set = bench::make_nonsecurity_set(
+      wild_nonsec, 502, /*keep_snapshots=*/true, /*defensive_share=*/0.12);
+
+  std::vector<const corpus::CommitRecord*> nvd_all =
+      bench::as_pointers(world.nvd_security);
+  for (const auto& r : nvd_nonsec_set) nvd_all.push_back(&r);
+  std::vector<const corpus::CommitRecord*> wild_all =
+      bench::as_pointers(world.wild);
+  for (const auto& r : wild_nonsec_set) wild_all.push_back(&r);
+
+  util::Table table("Table IV: RNN performance w/o and w/ synthetic patches");
+  table.set_header({"Dataset", "Synthetic Dataset", "Precision", "Recall",
+                    "Paper P", "Paper R"});
+
+  synth::SynthesisOptions synth_opt;
+  synth_opt.max_per_patch = 4;
+
+  auto run_block = [&](const std::string& label,
+                       const std::vector<const corpus::CommitRecord*>& records,
+                       std::uint64_t seed, const char* paper_nat_p,
+                       const char* paper_nat_r, const char* paper_syn_p,
+                       const char* paper_syn_r) {
+    const SplitRecords split = split_80_20(records, seed);
+
+    TokenCorpus train_nat;
+    for (const corpus::CommitRecord* r : split.train) {
+      add_patch(train_nat, r->patch, r->truth.is_security ? 1 : 0);
+    }
+    TokenCorpus test;
+    for (const corpus::CommitRecord* r : split.test) {
+      add_patch(test, r->patch, r->truth.is_security ? 1 : 0);
+    }
+
+    const ml::Confusion natural = run_rnn(train_nat, test, seed + 1);
+    table.add_row({label, "-", pct(natural.precision()), pct(natural.recall()),
+                   paper_nat_p, paper_nat_r});
+
+    // Synthesize from the training split only. The paper multiplies the
+    // security side harder than the non-security side (4076 -> 16,836
+    // sec, ~2x nonsec -> 19,936): match that by capping synthetic
+    // non-security at ~1.2x the synthetic security count.
+    std::vector<corpus::CommitRecord> train_records;
+    for (const corpus::CommitRecord* r : split.train) train_records.push_back(*r);
+    std::vector<synth::SyntheticPatch> synthetic =
+        synth::synthesize_all(train_records, synth_opt, seed + 2);
+    std::size_t total_sec = 0;
+    for (const auto& s : synthetic) total_sec += s.truth.is_security;
+    const std::size_t nonsec_cap =
+        static_cast<std::size_t>(1.2 * static_cast<double>(total_sec));
+    std::size_t syn_sec = 0;
+    std::size_t syn_nonsec = 0;
+    TokenCorpus train_aug = train_nat;
+    for (const synth::SyntheticPatch& s : synthetic) {
+      if (!s.truth.is_security && syn_nonsec >= nonsec_cap) continue;
+      add_patch(train_aug, s.patch, s.truth.is_security ? 1 : 0);
+      if (s.truth.is_security) {
+        ++syn_sec;
+      } else {
+        ++syn_nonsec;
+      }
+    }
+
+    const ml::Confusion augmented = run_rnn(train_aug, test, seed + 1);
+    table.add_row({label,
+                   std::to_string(syn_sec) + " Sec. + " +
+                       std::to_string(syn_nonsec) + " NonSec.",
+                   pct(augmented.precision()), pct(augmented.recall()),
+                   paper_syn_p, paper_syn_r});
+    return split;
+  };
+
+  run_block("NVD", nvd_all, 71, "82.1%", "84.8%", "86.0%", "87.2%");
+  table.add_separator();
+
+  std::vector<const corpus::CommitRecord*> combined = nvd_all;
+  combined.insert(combined.end(), wild_all.begin(), wild_all.end());
+  run_block("NVD+Wild", combined, 72, "92.9%", "61.1%", "93.0%", "61.2%");
+
+  std::printf("%s", table.render().c_str());
+  std::printf("  note: Sec. = security patch; NonSec. = non-security patch\n");
+  std::printf("  note: synthetic patches generated solely from the training split\n\n");
+
+  // --- SMOTE ablation (Section IV-C: "we also try some traditional
+  // oversampling techniques like SMOTE and do not observe obvious
+  // performance increase"). SMOTE lives in feature space, so the ablation
+  // uses the Random Forest feature classifier.
+  {
+    const SplitRecords split = split_80_20(nvd_all, 73);
+    const ml::Dataset train = bench::feature_dataset(split.train);
+    const ml::Dataset test = bench::feature_dataset(split.test);
+
+    ml::RandomForest plain;
+    plain.fit(train, 7);
+    const ml::Confusion base = ml::confusion(test.labels(), plain.predict_all(test));
+
+    const ml::Dataset smoted = ml::smote(train, {.k = 5, .multiplier = 2.0}, 9);
+    ml::RandomForest boosted;
+    boosted.fit(smoted, 7);
+    const ml::Confusion after =
+        ml::confusion(test.labels(), boosted.predict_all(test));
+
+    util::Table ablation("SMOTE ablation (feature-space oversampling, RF on NVD)");
+    ablation.set_header({"Training Set", "Precision", "Recall"});
+    ablation.add_row({"natural features", pct(base.precision()), pct(base.recall())});
+    ablation.add_row({"natural + SMOTE", pct(after.precision()), pct(after.recall())});
+    std::printf("%s", ablation.render().c_str());
+    std::printf("  paper: no obvious increase from SMOTE\n");
+  }
+  return 0;
+}

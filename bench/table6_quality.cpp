@@ -1,0 +1,163 @@
+// Reproduces Table VI: "Impacts of datasets over learning-based models".
+//
+// Paper protocol: split the NVD-based and wild-based datasets 80/20;
+// train Random Forest (Table I statistical features) and the RNN (token
+// stream) on (a) the NVD training split alone and (b) NVD+wild training
+// splits combined; test each model on both the NVD and wild test splits.
+// Paper shape: NVD-only models generalize poorly to the wild (RF recall
+// 21.7 -> 19.5, RNN recall 83.2 -> 24.2), while NVD+wild models stay
+// stable across both test sets and the RNN beats the RF.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace patchdb;
+
+struct LabeledSet {
+  std::vector<const corpus::CommitRecord*> records;
+};
+
+struct SplitSet {
+  LabeledSet train;
+  LabeledSet test;
+};
+
+SplitSet split_80_20(const std::vector<const corpus::CommitRecord*>& records,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  SplitSet out;
+  const std::size_t n_train = records.size() * 8 / 10;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (i < n_train ? out.train : out.test).records.push_back(records[order[i]]);
+  }
+  return out;
+}
+
+struct TokenSet {
+  nn::SequenceDataset data;
+  std::vector<std::vector<std::string>> docs;
+};
+
+TokenSet tokenize(const LabeledSet& set) {
+  TokenSet out;
+  for (const corpus::CommitRecord* r : set.records) {
+    out.docs.push_back(nn::patch_tokens(r->patch));
+    out.data.labels.push_back(r->truth.is_security ? 1 : 0);
+  }
+  return out;
+}
+
+std::string pct(double v) { return util::format_percent(v, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Table VI — dataset quality across models (RQ5)", scale);
+
+  // NVD-like dataset: long-tail security types + non-security.
+  corpus::WorldConfig nvd_config;
+  nvd_config.repos = 40;
+  nvd_config.nvd_security = bench::scaled(500, scale);
+  nvd_config.wild_pool = 4;  // unused here
+  nvd_config.keep_nvd_snapshots = false;
+  nvd_config.seed = 77077;
+  const corpus::World nvd_world = corpus::build_world(nvd_config);
+  const std::vector<corpus::CommitRecord> nvd_nonsec = bench::make_nonsecurity_set(
+      bench::scaled(1000, scale), 701, /*keep_snapshots=*/false,
+      /*defensive_share=*/0.12);
+
+  // Wild-like dataset: reshuffled security types + non-security.
+  corpus::WorldConfig wild_config;
+  wild_config.repos = 40;
+  wild_config.nvd_security = 4;  // unused
+  wild_config.wild_pool = bench::scaled(1000, scale);
+  wild_config.wild_security_rate = 1.0;  // the wild SECURITY set
+  wild_config.seed = 77177;
+  const corpus::World wild_world = corpus::build_world(wild_config);
+  const std::vector<corpus::CommitRecord> wild_nonsec = bench::make_nonsecurity_set(
+      bench::scaled(2000, scale), 702, /*keep_snapshots=*/false,
+      /*defensive_share=*/0.18);
+
+  std::vector<const corpus::CommitRecord*> nvd_all =
+      bench::as_pointers(nvd_world.nvd_security);
+  for (const auto& r : nvd_nonsec) nvd_all.push_back(&r);
+  std::vector<const corpus::CommitRecord*> wild_all =
+      bench::as_pointers(wild_world.wild);
+  for (const auto& r : wild_nonsec) wild_all.push_back(&r);
+
+  const SplitSet nvd = split_80_20(nvd_all, 81);
+  const SplitSet wild = split_80_20(wild_all, 82);
+
+  LabeledSet combined_train = nvd.train;
+  combined_train.records.insert(combined_train.records.end(),
+                                wild.train.records.begin(),
+                                wild.train.records.end());
+
+  util::Table table("Table VI: impacts of datasets over learning-based models");
+  table.set_header({"Training Dataset", "Algorithm", "Test Dataset",
+                    "Precision", "Recall", "Paper P", "Paper R"});
+
+  // ---- Random Forest on Table I features.
+  auto rf_row = [&](const char* train_label, const LabeledSet& train,
+                    const char* test_label, const LabeledSet& test,
+                    const char* paper_p, const char* paper_r) {
+    const ml::Dataset train_data = bench::feature_dataset(train.records);
+    const ml::Dataset test_data = bench::feature_dataset(test.records);
+    ml::RandomForest forest;
+    forest.fit(train_data, 7);
+    const ml::Confusion c =
+        ml::confusion(test_data.labels(), forest.predict_all(test_data));
+    table.add_row({train_label, "Random Forest", test_label, pct(c.precision()),
+                   pct(c.recall()), paper_p, paper_r});
+  };
+
+  // ---- RNN on token sequences.
+  auto rnn_row = [&](const char* train_label, const LabeledSet& train,
+                     const char* test_label, const LabeledSet& test,
+                     const char* paper_p, const char* paper_r) {
+    TokenSet train_tokens = tokenize(train);
+    TokenSet test_tokens = tokenize(test);
+    const nn::Vocabulary vocab = nn::Vocabulary::build(train_tokens.docs, 2, 1500);
+    for (const auto& doc : train_tokens.docs) {
+      train_tokens.data.sequences.push_back(vocab.encode(doc));
+    }
+    for (const auto& doc : test_tokens.docs) {
+      test_tokens.data.sequences.push_back(vocab.encode(doc));
+    }
+    nn::GruOptions opt;
+    opt.embed_dim = 12;
+    opt.hidden_dim = 20;
+    opt.epochs = 5;
+    opt.max_len = 128;
+    nn::GruClassifier gru(opt);
+    gru.fit(train_tokens.data, vocab.size(), 11);
+    const ml::Confusion c = ml::confusion(test_tokens.data.labels,
+                                          gru.predict_all(test_tokens.data));
+    table.add_row({train_label, "RNN", test_label, pct(c.precision()),
+                   pct(c.recall()), paper_p, paper_r});
+  };
+
+  rf_row("NVD", nvd.train, "NVD", nvd.test, "58.4%", "21.7%");
+  rf_row("NVD", nvd.train, "Wild", wild.test, "58.0%", "19.5%");
+  rnn_row("NVD", nvd.train, "NVD", nvd.test, "82.8%", "83.2%");
+  rnn_row("NVD", nvd.train, "Wild", wild.test, "88.3%", "24.2%");
+  table.add_separator();
+  rf_row("NVD+Wild", combined_train, "NVD", nvd.test, "90.1%", "22.5%");
+  rf_row("NVD+Wild", combined_train, "Wild", wild.test, "91.8%", "44.6%");
+  rnn_row("NVD+Wild", combined_train, "NVD", nvd.test, "92.8%", "60.2%");
+  rnn_row("NVD+Wild", combined_train, "Wild", wild.test, "92.3%", "63.2%");
+
+  std::printf("%s", table.render().c_str());
+  std::printf("  paper shape: NVD-only models lose recall on wild data; "
+              "NVD+Wild models stay stable; RNN > RF\n");
+  return 0;
+}

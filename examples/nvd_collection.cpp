@@ -1,0 +1,60 @@
+// NVD collection walkthrough: the Section III-A pipeline in isolation.
+// Simulated CVE entries reference GitHub commit URLs; the crawler
+// downloads each `.patch`, strips non-C/C++ file changes, and reports
+// exactly the dirt the paper describes (entries without patch links,
+// dead links, wrong links, dropped .changelog/.sh files).
+#include <algorithm>
+#include <cstdio>
+
+#include "corpus/world.h"
+#include "diff/render.h"
+
+int main() {
+  using namespace patchdb;
+
+  corpus::WorldConfig config;
+  config.repos = 12;
+  config.nvd_security = 300;
+  config.wild_pool = 50;  // the wild side is not the focus here
+  config.entry_missing_link_prob = 0.25;
+  config.dead_link_prob = 0.02;
+  config.wrong_link_prob = 0.01;
+  config.seed = 20190501;
+  const corpus::World world = corpus::build_world(config);
+
+  std::printf("simulated NVD: %zu CVE entries, remote store: %zu pages\n\n",
+              world.nvd_entries.size(), world.remote.page_count());
+
+  // A couple of sample entries, as the crawler sees them.
+  std::printf("sample CVE entries:\n");
+  for (std::size_t i = 0; i < 3 && i < world.nvd_entries.size(); ++i) {
+    const corpus::NvdEntry& e = world.nvd_entries[i];
+    std::printf("  %s (%s, CVSS %.1f)\n", e.cve_id.c_str(), e.cwe.c_str(),
+                e.cvss);
+    for (const std::string& url : e.references) {
+      const bool tagged =
+          std::find(e.patch_tagged.begin(), e.patch_tagged.end(), url) !=
+          e.patch_tagged.end();
+      std::printf("    ref%s: %s\n", tagged ? " [Patch]" : "", url.c_str());
+    }
+  }
+
+  const corpus::CrawlStats& s = world.crawl_stats;
+  std::printf("\ncrawl report:\n");
+  std::printf("  CVE entries scanned:             %zu\n", s.entries_total);
+  std::printf("  entries without patch link:      %zu\n", s.entries_without_patch_link);
+  std::printf("  links fetched:                   %zu\n", s.links_fetched);
+  std::printf("  dead links (404):                %zu\n", s.links_dead);
+  std::printf("  unparseable pages:               %zu\n", s.parse_failures);
+  std::printf("  non-C/C++ files stripped:        %zu\n", s.dropped_non_cpp_files);
+  std::printf("  empty after filtering:           %zu\n", s.dropped_empty_after_filter);
+  std::printf("  security patches collected:      %zu\n", s.patches_collected);
+
+  std::printf("\nfirst collected patch:\n%s",
+              diff::render_patch(world.nvd_security.front().patch).c_str());
+
+  std::printf("\n(the paper collects 4,076 patches from 313 repositories this "
+              "way; every\n collected patch here is C/C++-only, like the "
+              "paper's filtered dataset)\n");
+  return 0;
+}

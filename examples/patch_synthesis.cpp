@@ -1,0 +1,58 @@
+// Patch synthesis walkthrough: take one natural security patch, show the
+// BEFORE/AFTER source, locate the `if` statements the patch touches, and
+// print every synthetic variant the Fig. 5 templates produce — the full
+// Section III-C pipeline, narrated.
+#include <cstdio>
+
+#include "corpus/repo.h"
+#include "diff/render.h"
+#include "lang/parser.h"
+#include "synth/synthesize.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace patchdb;
+
+  // Fabricate a bound-check security patch with file snapshots (retrying
+  // seeds until the patch actually touches an `if`, like ~70% do).
+  corpus::CommitOptions commit_opt;
+  commit_opt.keep_snapshots = true;
+  commit_opt.noise_file_prob = 0.0;
+  commit_opt.multi_file_prob = 0.0;
+
+  corpus::CommitRecord record;
+  std::vector<synth::SyntheticPatch> synthetic;
+  synth::SynthesisOptions synth_opt;
+  synth_opt.max_per_patch = 0;  // enumerate all variants
+  for (std::uint64_t seed = 1; seed < 64 && synthetic.empty(); ++seed) {
+    util::Rng rng(seed);
+    record = corpus::make_commit(rng, "demo", corpus::PatchType::kBoundCheck,
+                                 commit_opt);
+    synthetic = synth::synthesize(record, synth_opt, seed);
+  }
+
+  std::printf("=== the natural security patch ===\n%s\n",
+              diff::render_patch(record.patch).c_str());
+
+  // Show the if statements the patch touches in the AFTER version.
+  const corpus::FileSnapshot& snap = record.snapshots.front();
+  const lang::ParsedFile parsed = lang::parse_file(snap.after);
+  std::printf("=== if statements in %s (AFTER version) ===\n", snap.path.c_str());
+  for (const lang::IfStatementInfo& info : parsed.ifs) {
+    std::printf("  IfStmt <line:%zu, line:%zu> cond: %s\n", info.if_line,
+                info.stmt_end_line, info.condition.c_str());
+  }
+
+  std::printf("\n=== %zu synthetic variants ===\n", synthetic.size());
+  for (const synth::SyntheticPatch& s : synthetic) {
+    std::printf("\n--- variant %d (%s), %s version modified ---\n",
+                static_cast<int>(s.variant), synth::variant_name(s.variant),
+                s.modified_after ? "AFTER" : "BEFORE");
+    std::printf("%s", diff::render_file_diffs(s.patch.files).c_str());
+  }
+
+  std::printf("\nEach synthetic patch keeps the original fix semantics but\n"
+              "adds control-flow complexity, enriching a small training set\n"
+              "(Table IV: +3.9%% precision on the NVD-based dataset).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: the five-minute tour of the PatchDB library.
+//
+//   1. Parse a real git security patch (the paper's Listing 1).
+//   2. Extract its 60-dimensional Table I feature vector.
+//   3. Categorize its code-change pattern (Table V taxonomy).
+//   4. Build a miniature PatchDB end to end — simulated NVD crawl,
+//      nearest-link wild augmentation with oracle verification, and
+//      source-level synthetic oversampling.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/categorize.h"
+#include "core/patchdb.h"
+#include "diff/parse.h"
+#include "feature/features.h"
+
+namespace {
+
+// The paper's Listing 1: the fix for CVE-2019-20912 (stack underflow).
+constexpr const char* kSecurityPatch =
+    "commit b84c2cab55948a5ee70860779b2640913e3ee1ed\n"
+    "Author: Dev <dev@example.org>\n"
+    "Date:   Tue Mar 3 10:00:00 2020 +0000\n"
+    "\n"
+    "    fix stack underflow in bit_write_UMC\n"
+    "\n"
+    "diff --git a/src/bits.c b/src/bits.c\n"
+    "index 014b04fe4..a3692bdc6 100644\n"
+    "--- a/src/bits.c\n"
+    "+++ b/src/bits.c\n"
+    "@@ -953,7 +953,7 @@ bit_write_UMC (Bit_Chain *dat, BITCODE_UMC val)\n"
+    "     if (byte[i] & 0x7f)\n"
+    "       break;\n"
+    " \n"
+    "-  if (byte[i] & 0x40)\n"
+    "+  if (byte[i] & 0x40 && i > 0)\n"
+    "     i--;\n"
+    "   byte[i] &= 0x7f;\n"
+    "   for (j = 4; j >= i; j--)\n";
+
+}  // namespace
+
+int main() {
+  using namespace patchdb;
+
+  // --- 1. Parse.
+  const diff::Patch patch = diff::parse_patch(kSecurityPatch);
+  std::printf("parsed commit %s\n  subject: %s\n  files: %zu, hunks: %zu, "
+              "+%zu/-%zu lines\n\n",
+              patch.commit.substr(0, 12).c_str(), patch.message.c_str(),
+              patch.files.size(), patch.hunk_count(), patch.added_lines(),
+              patch.removed_lines());
+
+  // --- 2. Features (Table I).
+  const feature::FeatureVector features = feature::extract(patch);
+  std::printf("Table I features (non-zero dimensions):\n");
+  const auto names = feature::feature_names();
+  for (std::size_t i = 0; i < feature::kFeatureCount; ++i) {
+    if (features[i] != 0.0) {
+      std::printf("  %-22s = %g\n", std::string(names[i]).c_str(), features[i]);
+    }
+  }
+
+  // --- 3. Pattern category (Table V).
+  const corpus::PatchType type = core::categorize(patch);
+  std::printf("\ncategorized as: Type %d (%s)\n\n", static_cast<int>(type),
+              std::string(corpus::patch_type_name(type)).c_str());
+
+  // --- 4. Miniature end-to-end PatchDB.
+  core::BuildOptions options;
+  options.world.repos = 8;
+  options.world.nvd_security = 120;
+  options.world.wild_pool = 2500;
+  options.world.seed = 2021;
+  options.augment.max_rounds = 2;
+  options.synthesis.max_per_patch = 3;
+
+  std::printf("building a miniature PatchDB (%zu NVD CVEs, %zu wild commits)...\n",
+              options.world.nvd_security, options.world.wild_pool);
+  const core::PatchDb db = core::build_patchdb(options);
+
+  std::printf("  NVD-based security patches:  %zu\n", db.nvd_security.size());
+  std::printf("  wild-based security patches: %zu\n", db.wild_security.size());
+  std::printf("  cleaned non-security:        %zu\n", db.nonsecurity.size());
+  std::printf("  synthetic patches:           %zu\n", db.synthetic.size());
+  std::printf("  verification effort:         %zu oracle checks\n",
+              db.verification_effort);
+  for (const core::RoundStats& round : db.rounds) {
+    std::printf("  round %zu: %zu candidates -> %zu security (%.0f%%)\n",
+                round.round, round.candidates, round.verified_security,
+                round.ratio * 100.0);
+  }
+  std::printf("\ndone. See bench/ for the full Table II-VI reproductions.\n");
+  return 0;
+}

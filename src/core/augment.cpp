@@ -1,0 +1,119 @@
+#include "core/augment.h"
+
+#include <algorithm>
+
+#include "core/nearest_link.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::core {
+
+namespace {
+
+feature::FeatureMatrix extract_records(
+    const std::vector<const corpus::CommitRecord*>& records) {
+  feature::FeatureMatrix matrix(records.size());
+  util::default_pool().parallel_for(
+      records.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          matrix[i] = feature::extract(records[i]->patch);
+        }
+      });
+  return matrix;
+}
+
+}  // namespace
+
+AugmentationLoop::AugmentationLoop(
+    std::vector<const corpus::CommitRecord*> seed_security,
+    corpus::Oracle& oracle)
+    : oracle_(oracle),
+      seed_count_(seed_security.size()),
+      security_(std::move(seed_security)) {
+  security_features_ = extract_records(security_);
+}
+
+void AugmentationLoop::set_pool(std::vector<const corpus::CommitRecord*> pool) {
+  pool_ = std::move(pool);
+  pool_features_ = extract_records(pool_);
+}
+
+RoundStats AugmentationLoop::run_round() {
+  RoundStats stats;
+  stats.round = ++rounds_run_;
+  stats.pool_size = pool_.size();
+  if (pool_.empty() || security_.empty()) return stats;
+
+  // Candidate selection. When the pool is smaller than the labeled set,
+  // every remaining pool entry becomes a candidate.
+  std::vector<std::size_t> selected;
+  if (pool_.size() <= security_.size()) {
+    selected.resize(pool_.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) selected[i] = i;
+  } else {
+    const DistanceMatrix d = distance_matrix(security_features_, pool_features_);
+    selected = nearest_link_search(d).candidate;
+  }
+  stats.candidates = selected.size();
+
+  // "Manual" verification of each candidate, then dataset bookkeeping.
+  std::vector<char> verdict(selected.size(), 0);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    verdict[i] = oracle_.verify_security(pool_[selected[i]]->patch.commit) ? 1 : 0;
+  }
+
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const corpus::CommitRecord* record = pool_[selected[i]];
+    if (verdict[i] != 0) {
+      ++stats.verified_security;
+      security_.push_back(record);
+      security_features_.push_back(feature::extract(record->patch));
+    } else {
+      nonsecurity_.push_back(record);
+    }
+  }
+  stats.ratio = stats.candidates == 0
+                    ? 0.0
+                    : static_cast<double>(stats.verified_security) /
+                          static_cast<double>(stats.candidates);
+
+  // Remove every verified candidate from the pool (swap-erase, highest
+  // index first so earlier indices stay valid).
+  std::vector<std::size_t> order = selected;
+  std::sort(order.begin(), order.end(), std::greater<>());
+  for (std::size_t idx : order) {
+    const std::size_t last = pool_.size() - 1;
+    pool_[idx] = pool_[last];
+    pool_features_[idx] = pool_features_[last];
+    pool_.pop_back();
+    // FeatureMatrix has no pop_back; emulate by rebuilding at the end.
+    // (see below)
+  }
+  // Rebuild the feature matrix to the shrunken size.
+  feature::FeatureMatrix shrunk(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) shrunk[i] = pool_features_[i];
+  pool_features_ = std::move(shrunk);
+
+  util::log_info() << "augment round " << stats.round << ": " << stats.candidates
+                   << " candidates, " << stats.verified_security
+                   << " security (" << stats.ratio * 100.0 << "%)";
+  return stats;
+}
+
+std::vector<RoundStats> AugmentationLoop::run(const AugmentOptions& options) {
+  std::vector<RoundStats> all;
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    RoundStats stats = run_round();
+    const bool exhausted = stats.candidates == 0;
+    all.push_back(stats);
+    if (exhausted || stats.ratio < options.stop_ratio) break;
+  }
+  return all;
+}
+
+std::vector<const corpus::CommitRecord*> AugmentationLoop::wild_security() const {
+  return {security_.begin() + static_cast<std::ptrdiff_t>(seed_count_),
+          security_.end()};
+}
+
+}  // namespace patchdb::core

@@ -1,0 +1,109 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "ml/ensemble.h"
+#include "ml/forest.h"
+#include "ml/normalize.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::core {
+
+std::vector<std::size_t> brute_force_select(std::size_t pool_size,
+                                            std::size_t sample_size,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  return rng.sample_indices(pool_size, std::min(sample_size, pool_size));
+}
+
+namespace {
+
+std::vector<std::vector<double>> matrix_rows(const feature::FeatureMatrix& m) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(m.rows());
+  for (const feature::FeatureVector& v : m) {
+    rows.emplace_back(v.begin(), v.end());
+  }
+  return rows;
+}
+
+}  // namespace
+
+NormalizedTask normalize_task(const feature::FeatureMatrix& security,
+                              const feature::FeatureMatrix& nonsecurity,
+                              const feature::FeatureMatrix& pool) {
+  // Fit the scaler on everything the task sees, like the nearest link's
+  // weighting does.
+  std::vector<std::vector<double>> all = matrix_rows(security);
+  {
+    auto extra = matrix_rows(nonsecurity);
+    all.insert(all.end(), extra.begin(), extra.end());
+    extra = matrix_rows(pool);
+    all.insert(all.end(), extra.begin(), extra.end());
+  }
+  ml::MaxAbsScaler scaler;
+  scaler.fit(all);
+
+  NormalizedTask task;
+  for (const feature::FeatureVector& v : security) {
+    task.train.push_back(scaler.transform(std::vector<double>(v.begin(), v.end())), 1);
+  }
+  for (const feature::FeatureVector& v : nonsecurity) {
+    task.train.push_back(scaler.transform(std::vector<double>(v.begin(), v.end())), 0);
+  }
+  task.pool = feature::FeatureMatrix(pool.rows());
+  for (std::size_t i = 0; i < pool.rows(); ++i) {
+    const std::vector<double> t =
+        scaler.transform(std::vector<double>(pool[i].begin(), pool[i].end()));
+    std::copy(t.begin(), t.end(), task.pool[i].begin());
+  }
+  return task;
+}
+
+std::vector<std::size_t> pseudo_label_select(const ml::Dataset& train,
+                                             const feature::FeatureMatrix& pool,
+                                             std::size_t top_k,
+                                             std::uint64_t seed) {
+  ml::RandomForest forest;
+  forest.fit(train, seed);
+
+  std::vector<double> scores(pool.rows());
+  util::default_pool().parallel_for(pool.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      scores[i] = forest.predict_score(pool[i]);
+    }
+  });
+
+  std::vector<std::size_t> order(pool.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  top_k = std::min(top_k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(top_k),
+                    order.end(), [&scores](std::size_t a, std::size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  order.resize(top_k);
+  return order;
+}
+
+std::vector<std::size_t> uncertainty_select(const ml::Dataset& train,
+                                            const feature::FeatureMatrix& pool,
+                                            std::uint64_t seed) {
+  ml::ConsensusEnsemble ensemble(ml::make_weka_panel());
+  ensemble.fit(train, seed);
+
+  std::vector<char> keep(pool.rows(), 0);
+  util::default_pool().parallel_for(pool.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      keep[i] = ensemble.unanimous(pool[i]) ? 1 : 0;
+    }
+  });
+
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pool.rows(); ++i) {
+    if (keep[i] != 0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace patchdb::core

@@ -1,0 +1,48 @@
+// The three augmentation baselines of Table III: brute-force screening,
+// pseudo labeling (single Random Forest, highest-confidence candidates),
+// and uncertainty-based labeling (ten-classifier unanimous consensus).
+// Each returns candidate indices into the wild pool; the bench verifies
+// them through the oracle and reports the security-patch proportion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "feature/features.h"
+#include "ml/data.h"
+
+namespace patchdb::core {
+
+/// Brute force: a uniform random sample of `sample_size` pool indices
+/// (the paper verifies a random 1K subset of the 200K pool).
+std::vector<std::size_t> brute_force_select(std::size_t pool_size,
+                                            std::size_t sample_size,
+                                            std::uint64_t seed);
+
+/// Pseudo labeling: train a Random Forest on `train` (label 1 = security)
+/// and return the `top_k` pool rows with the highest predicted
+/// confidence, most confident first.
+std::vector<std::size_t> pseudo_label_select(const ml::Dataset& train,
+                                             const feature::FeatureMatrix& pool,
+                                             std::size_t top_k,
+                                             std::uint64_t seed);
+
+/// Uncertainty-based labeling: train the ten-classifier Weka-style panel
+/// and return every pool row ALL members predict positive.
+std::vector<std::size_t> uncertainty_select(const ml::Dataset& train,
+                                            const feature::FeatureMatrix& pool,
+                                            std::uint64_t seed);
+
+/// Helper: assemble a max-abs-normalized training set from security and
+/// non-security feature rows, returning the fitted scaler's view of the
+/// pool as well (normalization must be shared or distances are biased).
+struct NormalizedTask {
+  ml::Dataset train;
+  feature::FeatureMatrix pool;  // normalized copy of the pool rows
+};
+NormalizedTask normalize_task(const feature::FeatureMatrix& security,
+                              const feature::FeatureMatrix& nonsecurity,
+                              const feature::FeatureMatrix& pool);
+
+}  // namespace patchdb::core

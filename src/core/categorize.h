@@ -1,0 +1,18 @@
+// Rule-based patch-pattern categorizer: assigns a security patch to one
+// of the 12 Table V code-change categories by inspecting its hunks. The
+// paper did this step manually over 5K patches; the rules below encode
+// the same decision procedure (checks first, then declaration/value
+// changes, call changes, jumps, moves, and finally the size-based
+// redesign catch-all), so the composition study (Table V, Fig. 6) can
+// run over arbitrarily large sets.
+#pragma once
+
+#include "corpus/taxonomy.h"
+#include "diff/patch.h"
+
+namespace patchdb::core {
+
+/// Classify a patch's code change into a Table V category.
+corpus::PatchType categorize(const diff::Patch& patch);
+
+}  // namespace patchdb::core

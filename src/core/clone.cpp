@@ -1,0 +1,123 @@
+#include "core/clone.h"
+
+#include <algorithm>
+
+#include "lang/abstract.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace patchdb::core {
+
+namespace {
+
+/// Lines that carry no clone signal: blanks, lone braces, and
+/// preprocessor directives (every file shares its include boilerplate,
+/// so windows touching it would match everywhere).
+bool is_noise_line(std::string_view trimmed) {
+  return trimmed.empty() || trimmed == "{" || trimmed == "}" ||
+         trimmed.front() == '#';
+}
+
+std::vector<std::string> normalize(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  for (const std::string& line : lines) {
+    const std::string_view t = util::trim(line);
+    if (is_noise_line(t)) continue;
+    out.emplace_back(t);
+  }
+  return out;
+}
+
+std::uint64_t window_hash(const std::vector<std::string>& normalized,
+                          std::size_t begin, std::size_t count) {
+  std::string joined;
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    joined += normalized[i];
+    joined += '\n';
+  }
+  return util::fnv1a64(lang::alpha_abstract_code(joined));
+}
+
+}  // namespace
+
+bool CloneScanner::add_signature(const std::string& origin,
+                                 const std::vector<std::string>& vulnerable_lines) {
+  const std::vector<std::string> normalized = normalize(vulnerable_lines);
+  if (normalized.size() < min_lines_) return false;
+  const std::uint64_t hash = window_hash(normalized, 0, normalized.size());
+  by_length_[normalized.size()][hash].push_back(Signature{origin});
+  ++total_signatures_;
+  return true;
+}
+
+std::size_t CloneScanner::add_patch(const diff::Patch& patch) {
+  std::size_t added = 0;
+  for (const diff::FileDiff& fd : patch.files) {
+    for (const diff::Hunk& hunk : fd.hunks) {
+      if (hunk.removed_count() == 0) continue;  // pure addition: no pre-image
+      std::vector<std::string> pre;
+      for (const diff::Line& line : hunk.lines) {
+        if (line.kind != diff::LineKind::kAdded) pre.push_back(line.text);
+      }
+      // Trim the window to the removed code plus at most two context
+      // lines per side: git's full 3-line context frequently reaches
+      // into function prologues and other boilerplate shared by every
+      // file, which would make the signature match everywhere.
+      std::size_t first_removed = pre.size();
+      std::size_t last_removed = 0;
+      {
+        std::size_t idx = 0;
+        for (const diff::Line& line : hunk.lines) {
+          if (line.kind == diff::LineKind::kAdded) continue;
+          if (line.kind == diff::LineKind::kRemoved) {
+            first_removed = std::min(first_removed, idx);
+            last_removed = std::max(last_removed, idx);
+          }
+          ++idx;
+        }
+      }
+      const std::size_t begin = first_removed > 2 ? first_removed - 2 : 0;
+      const std::size_t end = std::min(pre.size(), last_removed + 3);
+      const std::vector<std::string> window(
+          pre.begin() + static_cast<std::ptrdiff_t>(begin),
+          pre.begin() + static_cast<std::ptrdiff_t>(end));
+      added += add_signature(patch.commit, window);
+    }
+  }
+  return added;
+}
+
+std::vector<CloneMatch> CloneScanner::scan(
+    const std::vector<std::string>& file_lines) const {
+  // Track the original line number of every normalized line so matches
+  // report real positions.
+  std::vector<std::string> normalized;
+  std::vector<std::size_t> origin_line;
+  for (std::size_t i = 0; i < file_lines.size(); ++i) {
+    const std::string_view t = util::trim(file_lines[i]);
+    if (t.empty() || t == "{" || t == "}") continue;
+    normalized.emplace_back(t);
+    origin_line.push_back(i + 1);
+  }
+
+  std::vector<CloneMatch> matches;
+  for (const auto& [length, buckets] : by_length_) {
+    if (length > normalized.size()) continue;
+    for (std::size_t begin = 0; begin + length <= normalized.size(); ++begin) {
+      const std::uint64_t hash = window_hash(normalized, begin, length);
+      const auto it = buckets.find(hash);
+      if (it == buckets.end()) continue;
+      for (const Signature& sig : it->second) {
+        matches.push_back(CloneMatch{sig.origin, origin_line[begin], length});
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const CloneMatch& a, const CloneMatch& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.origin < b.origin;
+            });
+  return matches;
+}
+
+}  // namespace patchdb::core

@@ -1,0 +1,63 @@
+// Vulnerable code clone detection — the paper's Section V-A.1 usage:
+// "since security patches comprise both the vulnerable code and
+// corresponding fixes, they can be used to detect vulnerable code clone
+// by using patch-enhanced vulnerability signatures ... more security
+// patch instances enable more vulnerability signatures."
+//
+// A signature is the alpha-abstracted pre-image of a patch hunk (its
+// context + removed lines): the vulnerable shape, rename-invariant. The
+// scanner slides a window over a target file's abstracted lines and
+// reports every signature hit — a VUDDY/MVP-style matcher built from
+// PatchDB patches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::core {
+
+struct CloneMatch {
+  std::string origin;     // commit (or CVE) the signature came from
+  std::size_t line = 0;   // 1-based first line of the match in the target
+  std::size_t length = 0; // window length in lines
+};
+
+class CloneScanner {
+ public:
+  /// Minimum pre-image size (in non-blank lines) for a usable signature;
+  /// tiny windows match everywhere.
+  explicit CloneScanner(std::size_t min_lines = 3) : min_lines_(min_lines) {}
+
+  /// Register one signature from raw vulnerable lines.
+  /// Returns false when the pre-image is too small to be discriminative.
+  bool add_signature(const std::string& origin,
+                     const std::vector<std::string>& vulnerable_lines);
+
+  /// Register signatures from every hunk of a security patch that
+  /// actually removes code (pre-image = context + removed lines).
+  /// Returns how many signatures were added.
+  std::size_t add_patch(const diff::Patch& patch);
+
+  /// Scan a file; returns all matches (possibly several per signature).
+  std::vector<CloneMatch> scan(const std::vector<std::string>& file_lines) const;
+
+  std::size_t signature_count() const noexcept { return total_signatures_; }
+
+ private:
+  struct Signature {
+    std::string origin;
+  };
+
+  std::size_t min_lines_;
+  std::size_t total_signatures_ = 0;
+  // window length (lines) -> hash of abstracted window -> signatures
+  std::unordered_map<std::size_t,
+                     std::unordered_map<std::uint64_t, std::vector<Signature>>>
+      by_length_;
+};
+
+}  // namespace patchdb::core

@@ -1,0 +1,54 @@
+#include "core/dedupe.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "lang/abstract.h"
+#include "util/hash.h"
+
+namespace patchdb::core {
+
+std::uint64_t change_fingerprint(const diff::Patch& patch) {
+  // Hash each hunk's abstracted removed/added text separately, then
+  // combine order-insensitively (XOR of per-hunk hashes) so that file
+  // ordering and hunk ordering differences between cherry-picks do not
+  // break matching. A multiplier distinguishes removed from added sides.
+  std::uint64_t combined = 0x9e3779b97f4a7c15ULL;
+  std::size_t hunks = 0;
+  for (const diff::FileDiff& fd : patch.files) {
+    for (const diff::Hunk& hunk : fd.hunks) {
+      const std::string removed = lang::alpha_abstract_code(hunk.removed_text());
+      const std::string added = lang::alpha_abstract_code(hunk.added_text());
+      if (removed.empty() && added.empty()) continue;
+      const std::uint64_t h =
+          util::fnv1a64(removed) * 0x100000001b3ULL ^ util::fnv1a64(added);
+      combined ^= h;
+      ++hunks;
+    }
+  }
+  // Patches with no code change at all hash on their file count so they
+  // do not all collide onto the seed constant.
+  if (hunks == 0) combined ^= patch.files.size() + 1;
+  return combined;
+}
+
+DedupeResult dedupe(std::span<const diff::Patch> patches) {
+  DedupeResult result;
+  result.duplicate_of.resize(patches.size());
+  std::unordered_map<std::uint64_t, std::size_t> first_seen;
+  first_seen.reserve(patches.size());
+  for (std::size_t i = 0; i < patches.size(); ++i) {
+    const std::uint64_t fp = change_fingerprint(patches[i]);
+    const auto [it, inserted] = first_seen.emplace(fp, i);
+    if (inserted) {
+      result.kept.push_back(i);
+      result.duplicate_of[i] = i;
+    } else {
+      result.duplicate_of[i] = it->second;
+    }
+  }
+  return result;
+}
+
+}  // namespace patchdb::core

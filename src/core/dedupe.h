@@ -1,0 +1,36 @@
+// Near-duplicate patch detection for dataset cleaning. Backports,
+// cherry-picks, and vendored copies put near-identical fixes into many
+// repositories; a cleaned dataset (the paper's is hand-curated) should
+// not count them twice. Two patches are near-duplicates when their
+// token-abstracted hunk contents hash equal — identifier renames,
+// whitespace, and file paths do not matter; any structural change does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::core {
+
+/// Order-insensitive fingerprint of a patch's abstracted code change.
+std::uint64_t change_fingerprint(const diff::Patch& patch);
+
+struct DedupeResult {
+  /// Indices of the patches kept (first occurrence of each fingerprint,
+  /// in input order).
+  std::vector<std::size_t> kept;
+  /// duplicate_of[i] == i for kept patches; otherwise the index of the
+  /// earlier patch i duplicates.
+  std::vector<std::size_t> duplicate_of;
+
+  std::size_t duplicates() const noexcept {
+    return duplicate_of.size() - kept.size();
+  }
+};
+
+/// Group patches by fingerprint.
+DedupeResult dedupe(std::span<const diff::Patch> patches);
+
+}  // namespace patchdb::core

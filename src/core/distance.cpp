@@ -1,0 +1,85 @@
+#include "core/distance.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace patchdb::core {
+
+std::vector<double> maxabs_weights(const feature::FeatureMatrix& security,
+                                   const feature::FeatureMatrix& wild) {
+  std::vector<double> max_abs(feature::kFeatureCount, 0.0);
+  auto scan = [&max_abs](const feature::FeatureMatrix& m) {
+    for (const feature::FeatureVector& row : m) {
+      for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+        max_abs[j] = std::max(max_abs[j], std::fabs(row[j]));
+      }
+    }
+  };
+  scan(security);
+  scan(wild);
+  std::vector<double> weights(feature::kFeatureCount, 1.0);
+  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+    if (max_abs[j] > 0.0) weights[j] = 1.0 / max_abs[j];
+  }
+  return weights;
+}
+
+double weighted_distance(const feature::FeatureVector& a,
+                         const feature::FeatureVector& b,
+                         std::span<const double> weights) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+    const double d = (a[j] - b[j]) * weights[j];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
+                               const feature::FeatureMatrix& wild,
+                               std::span<const double> weights) {
+  if (weights.size() != feature::kFeatureCount) {
+    throw std::invalid_argument("distance_matrix: bad weight vector");
+  }
+  const std::size_t m = security.rows();
+  const std::size_t n = wild.rows();
+  DistanceMatrix matrix(m, n);
+
+  // Pre-scale both sides once so the inner loop is a plain L2.
+  auto scale = [&weights](const feature::FeatureMatrix& in) {
+    std::vector<std::array<float, feature::kFeatureCount>> out(in.rows());
+    for (std::size_t i = 0; i < in.rows(); ++i) {
+      for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+        out[i][j] = static_cast<float>(in[i][j] * weights[j]);
+      }
+    }
+    return out;
+  };
+  const auto sec = scale(security);
+  const auto wld = scale(wild);
+
+  util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto& a = sec[r];
+      for (std::size_t c = 0; c < n; ++c) {
+        const auto& b = wld[c];
+        float total = 0.0f;
+        for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+          const float d = a[j] - b[j];
+          total += d * d;
+        }
+        matrix.at(r, c) = std::sqrt(total);
+      }
+    }
+  });
+  return matrix;
+}
+
+DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
+                               const feature::FeatureMatrix& wild) {
+  return distance_matrix(security, wild, maxabs_weights(security, wild));
+}
+
+}  // namespace patchdb::core

@@ -1,0 +1,182 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace patchdb::core {
+
+namespace {
+
+std::array<float, feature::kFeatureCount> weigh(const feature::FeatureVector& v,
+                                                std::span<const double> weights) {
+  std::array<float, feature::kFeatureCount> out;
+  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+    out[j] = static_cast<float>(v[j] * weights[j]);
+  }
+  return out;
+}
+
+float sq_distance(const std::array<float, feature::kFeatureCount>& a,
+                  const std::array<float, feature::kFeatureCount>& b) {
+  float total = 0.0f;
+  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+    const float d = a[j] - b[j];
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace
+
+void IncrementalLinker::set_pool(const feature::FeatureMatrix& pool,
+                                 std::span<const double> weights) {
+  if (weights.size() != feature::kFeatureCount) {
+    throw std::invalid_argument("IncrementalLinker: bad weight vector");
+  }
+  weights_.assign(weights.begin(), weights.end());
+  pool_.resize(pool.rows());
+  for (std::size_t i = 0; i < pool.rows(); ++i) pool_[i] = weigh(pool[i], weights);
+  alive_.assign(pool.rows(), 1);
+  live_count_ = pool.rows();
+  // All caches are invalid against a new pool.
+  cache_.assign(seeds_.size(), {});
+  cache_valid_.assign(seeds_.size(), 0);
+}
+
+void IncrementalLinker::add_seeds(const feature::FeatureMatrix& seeds) {
+  if (weights_.empty()) {
+    throw std::logic_error("IncrementalLinker: set_pool before add_seeds");
+  }
+  for (std::size_t i = 0; i < seeds.rows(); ++i) {
+    seeds_.push_back(weigh(seeds[i], weights_));
+    cache_.emplace_back();
+    cache_valid_.push_back(0);
+  }
+}
+
+void IncrementalLinker::compute_cache(std::size_t seed_index) {
+  ++row_scans_;
+  const auto& s = seeds_[seed_index];
+  // Max-heap of the k smallest squared distances (pair ordered by first).
+  std::vector<Neighbor> heap;
+  heap.reserve(k_ + 1);
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;  // max-heap on distance
+  };
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const float d = sq_distance(s, pool_[i]);
+    if (heap.size() < k_) {
+      heap.push_back(Neighbor{d, static_cast<std::uint32_t>(i)});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && d < heap.front().distance) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = Neighbor{d, static_cast<std::uint32_t>(i)};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);  // ascending distance
+  cache_[seed_index] = std::move(heap);
+  cache_valid_[seed_index] = 1;
+}
+
+LinkResult IncrementalLinker::link() {
+  const std::size_t m = seeds_.size();
+  if (m == 0) return {};
+  if (live_count_ < m) {
+    throw std::invalid_argument("IncrementalLinker: pool smaller than seed set");
+  }
+
+  // Fill missing caches in parallel (each compute_cache touches only its
+  // own slot; row_scans_ is corrected afterwards).
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!cache_valid_[i]) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    const std::size_t scans_before = row_scans_;
+    util::default_pool().parallel_for(
+        missing.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) compute_cache(missing[i]);
+        });
+    row_scans_ = scans_before + missing.size();
+  }
+
+  std::vector<char> used(pool_.size(), 0);
+  std::vector<char> assigned(m, 0);
+  std::vector<std::size_t> cursor(m, 0);
+  constexpr float kInf = std::numeric_limits<float>::max();
+
+  // head(i): first cached candidate that is alive and unused; kInf when
+  // the cache is exhausted (triggering a fallback scan on selection).
+  auto head_distance = [&](std::size_t i) -> float {
+    std::vector<Neighbor>& cache = cache_[i];
+    std::size_t& pos = cursor[i];
+    while (pos < cache.size() &&
+           (!alive_[cache[pos].pool_index] || used[cache[pos].pool_index])) {
+      ++pos;
+    }
+    return pos < cache.size() ? cache[pos].distance : kInf;
+  };
+
+  LinkResult result;
+  result.candidate.assign(m, 0);
+  for (std::size_t step = 0; step < m; ++step) {
+    std::size_t best_seed = m;
+    float best = kInf;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (assigned[i]) continue;
+      const float d = head_distance(i);
+      if (d < best || best_seed == m) {
+        best = d;
+        best_seed = i;
+      }
+    }
+
+    std::size_t chosen;
+    float chosen_distance;
+    if (best < kInf) {
+      chosen = cache_[best_seed][cursor[best_seed]].pool_index;
+      chosen_distance = best;
+    } else {
+      // Cache exhausted: full row scan over live, unused pool entries.
+      ++row_scans_;
+      chosen = pool_.size();
+      chosen_distance = kInf;
+      for (std::size_t i = 0; i < pool_.size(); ++i) {
+        if (!alive_[i] || used[i]) continue;
+        const float d = sq_distance(seeds_[best_seed], pool_[i]);
+        if (d < chosen_distance) {
+          chosen_distance = d;
+          chosen = i;
+        }
+      }
+      if (chosen == pool_.size()) {
+        throw std::logic_error("IncrementalLinker: pool exhausted mid-link");
+      }
+    }
+    result.candidate[best_seed] = chosen;
+    result.total_distance += std::sqrt(static_cast<double>(chosen_distance));
+    used[chosen] = 1;
+    assigned[best_seed] = 1;
+  }
+  return result;
+}
+
+void IncrementalLinker::remove_from_pool(std::span<const std::size_t> pool_indices) {
+  for (std::size_t idx : pool_indices) {
+    if (idx >= alive_.size()) {
+      throw std::out_of_range("IncrementalLinker: bad pool index");
+    }
+    if (alive_[idx]) {
+      alive_[idx] = 0;
+      --live_count_;
+    }
+  }
+}
+
+}  // namespace patchdb::core

@@ -1,0 +1,157 @@
+#include "core/nearest_link.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace patchdb::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LinkResult nearest_link_search(const DistanceMatrix& d) {
+  const std::size_t m = d.rows();
+  const std::size_t n = d.cols();
+  if (n < m) {
+    throw std::invalid_argument("nearest_link_search: need cols >= rows");
+  }
+  LinkResult result;
+  result.candidate.assign(m, 0);
+
+  // U[m] = current minimum of row m over all columns, V[m] = argmin —
+  // Algorithm 1's init (lines 1-3).
+  std::vector<double> u(m, kInf);
+  std::vector<std::size_t> v(m, 0);
+  for (std::size_t row = 0; row < m; ++row) {
+    const auto dr = d.row(row);
+    double best = kInf;
+    std::size_t best_col = 0;
+    for (std::size_t col = 0; col < n; ++col) {
+      if (dr[col] < best) {
+        best = dr[col];
+        best_col = col;
+      }
+    }
+    u[row] = best;
+    v[row] = best_col;
+  }
+
+  std::vector<char> used(n, 0);
+  std::vector<char> assigned(m, 0);
+
+  for (std::size_t step = 0; step < m; ++step) {
+    // m0 <- argmin U over unassigned rows (line 7).
+    std::size_t m0 = 0;
+    double best = kInf;
+    for (std::size_t row = 0; row < m; ++row) {
+      if (!assigned[row] && u[row] < best) {
+        best = u[row];
+        m0 = row;
+      }
+    }
+    std::size_t n0 = v[m0];
+    if (used[n0]) {
+      // The cached argmin was taken by an earlier link: recompute the row
+      // minimum over unused columns and commit to it (lines 10-15).
+      const auto dr = d.row(m0);
+      double row_best = kInf;
+      std::size_t row_best_col = 0;
+      for (std::size_t col = 0; col < n; ++col) {
+        if (!used[col] && dr[col] < row_best) {
+          row_best = dr[col];
+          row_best_col = col;
+        }
+      }
+      n0 = row_best_col;
+    }
+    result.candidate[m0] = n0;
+    result.total_distance += d.at(m0, n0);
+    used[n0] = 1;
+    assigned[m0] = 1;
+    u[m0] = kInf;  // line 17
+  }
+  return result;
+}
+
+LinkResult exact_assignment(const DistanceMatrix& d) {
+  const std::size_t m = d.rows();
+  const std::size_t n = d.cols();
+  if (n < m) throw std::invalid_argument("exact_assignment: need cols >= rows");
+
+  // Hungarian algorithm with potentials (Jonker-Volgenant flavor),
+  // 1-based with column 0 as the virtual start. p[j] = row matched to
+  // column j (0 = none). O(m^2 n).
+  std::vector<double> pot_u(m + 1, 0.0);
+  std::vector<double> pot_v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0);
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = static_cast<double>(d.at(i0 - 1, j - 1)) -
+                           pot_u[i0] - pot_v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          pot_u[p[j]] += delta;
+          pot_v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the recorded way.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  LinkResult result;
+  result.candidate.assign(m, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (p[j] != 0) result.candidate[p[j] - 1] = j - 1;
+  }
+  for (std::size_t row = 0; row < m; ++row) {
+    result.total_distance += d.at(row, result.candidate[row]);
+  }
+  return result;
+}
+
+LinkResult row_argmin(const DistanceMatrix& d) {
+  LinkResult result;
+  result.candidate.assign(d.rows(), 0);
+  for (std::size_t row = 0; row < d.rows(); ++row) {
+    const auto dr = d.row(row);
+    std::size_t best_col = 0;
+    for (std::size_t col = 1; col < d.cols(); ++col) {
+      if (dr[col] < dr[best_col]) best_col = col;
+    }
+    result.candidate[row] = best_col;
+    result.total_distance += dr[best_col];
+  }
+  return result;
+}
+
+}  // namespace patchdb::core

@@ -1,0 +1,52 @@
+#include "core/patchdb.h"
+
+#include "util/log.h"
+
+namespace patchdb::core {
+
+PatchDb build_patchdb(const BuildOptions& options) {
+  PatchDb db;
+
+  // Stage 1: simulate the universe and run the NVD collection pipeline.
+  corpus::World world = corpus::build_world(options.world);
+  db.crawl_stats = world.crawl_stats;
+  db.nvd_security = world.nvd_security;
+
+  // Stage 2: wild augmentation via nearest link + oracle verification.
+  std::vector<const corpus::CommitRecord*> seed;
+  seed.reserve(world.nvd_security.size());
+  for (const corpus::CommitRecord& r : world.nvd_security) seed.push_back(&r);
+  std::vector<const corpus::CommitRecord*> pool;
+  pool.reserve(world.wild.size());
+  for (const corpus::CommitRecord& r : world.wild) pool.push_back(&r);
+
+  AugmentationLoop loop(std::move(seed), world.oracle);
+  loop.set_pool(std::move(pool));
+  db.rounds = loop.run(options.augment);
+  db.verification_effort = world.oracle.effort();
+
+  for (const corpus::CommitRecord* r : loop.wild_security()) {
+    db.wild_security.push_back(*r);
+  }
+  for (const corpus::CommitRecord* r : loop.nonsecurity()) {
+    db.nonsecurity.push_back(*r);
+  }
+
+  // Stage 3: synthetic oversampling from the natural patches that carry
+  // snapshots (NVD side by default; wild side when the world kept them).
+  if (options.run_synthesis) {
+    db.synthetic = synth::synthesize_all(db.nvd_security, options.synthesis,
+                                         options.world.seed ^ 0x5f5f5f5fULL);
+    const auto wild_synth = synth::synthesize_all(
+        db.wild_security, options.synthesis, options.world.seed ^ 0x3c3c3c3cULL);
+    db.synthetic.insert(db.synthetic.end(), wild_synth.begin(), wild_synth.end());
+  }
+
+  util::log_info() << "patchdb: " << db.nvd_security.size() << " NVD + "
+                   << db.wild_security.size() << " wild security, "
+                   << db.nonsecurity.size() << " non-security, "
+                   << db.synthetic.size() << " synthetic";
+  return db;
+}
+
+}  // namespace patchdb::core

@@ -1,0 +1,47 @@
+// End-to-end PatchDB builder facade: one call runs the whole pipeline
+// of Fig. 1 — NVD collection, nearest-link wild augmentation with the
+// oracle in the loop, and synthetic oversampling — and returns the three
+// dataset components. Examples and the quickstart use this; benches
+// drive the stages individually for finer measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/augment.h"
+#include "corpus/world.h"
+#include "synth/synthesize.h"
+
+namespace patchdb::core {
+
+struct BuildOptions {
+  corpus::WorldConfig world;          // scale of the simulated universe
+  AugmentOptions augment;             // rounds / stop threshold
+  synth::SynthesisOptions synthesis;  // oversampling knobs
+  bool run_synthesis = true;
+};
+
+struct PatchDb {
+  /// Component 1: NVD-based security patches (crawled + verified).
+  std::vector<corpus::CommitRecord> nvd_security;
+  /// Component 2: wild-based security patches found by augmentation.
+  std::vector<corpus::CommitRecord> wild_security;
+  /// Cleaned non-security patches (rejected candidates).
+  std::vector<corpus::CommitRecord> nonsecurity;
+  /// Component 3: synthetic patches derived from the natural ones.
+  std::vector<synth::SyntheticPatch> synthetic;
+
+  /// Collection + augmentation telemetry.
+  corpus::CrawlStats crawl_stats;
+  std::vector<RoundStats> rounds;
+  std::size_t verification_effort = 0;
+
+  std::size_t natural_security_count() const noexcept {
+    return nvd_security.size() + wild_security.size();
+  }
+};
+
+/// Run the full pipeline at the configured scale.
+PatchDb build_patchdb(const BuildOptions& options);
+
+}  // namespace patchdb::core

@@ -1,0 +1,17 @@
+#include "corpus/gitlog.h"
+
+#include "diff/render.h"
+
+namespace patchdb::corpus {
+
+std::string render_git_log(std::span<const CommitRecord> records) {
+  std::string out;
+  // git log prints newest first.
+  for (std::size_t i = records.size(); i-- > 0;) {
+    out += diff::render_patch(records[i].patch);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace patchdb::corpus

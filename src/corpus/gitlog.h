@@ -1,0 +1,18 @@
+// `git log -p` simulation. The paper collects its non-security commit
+// pool by running `git log` on the 313 repositories; this renders a
+// repository's commit records into that exact text form so the
+// collection pipeline (diff::parse_patch_stream) ingests history the
+// same way it would from a real checkout.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "corpus/repo.h"
+
+namespace patchdb::corpus {
+
+/// Render records newest-first into `git log -p`-shaped text.
+std::string render_git_log(std::span<const CommitRecord> records);
+
+}  // namespace patchdb::corpus

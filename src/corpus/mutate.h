@@ -1,0 +1,33 @@
+// Parameterized vulnerability-fix and non-security transformations. Each
+// PatchType has a family of templates producing a (BEFORE, AFTER)
+// function pair; the repository seeds the file with BEFORE and the
+// commit flips it to AFTER, so the resulting diff carries exactly the
+// code-change pattern of that Table V category. Syntactic signatures
+// (new `if` with a relational operator for checks, call substitutions
+// for Type 8, large rewrites for Type 11, ...) are what the 60-dim
+// feature space — and therefore the nearest link search — keys on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/codegen.h"
+#include "corpus/taxonomy.h"
+#include "util/rng.h"
+
+namespace patchdb::corpus {
+
+struct MutationResult {
+  std::vector<std::string> before;  // full function, BEFORE version
+  std::vector<std::string> after;   // full function, AFTER version
+  std::string message;              // commit subject line
+  PatchType type = PatchType::kOther;
+};
+
+/// Generate one (BEFORE, AFTER) pair of the given type. Every call draws
+/// fresh template variants, so repeated calls with the same type yield
+/// different concrete patches.
+MutationResult make_mutation(util::Rng& rng, const FunctionContext& ctx,
+                             PatchType type);
+
+}  // namespace patchdb::corpus

@@ -1,0 +1,86 @@
+#include "corpus/nvd.h"
+
+#include "diff/filter.h"
+#include "diff/parse.h"
+#include "util/strings.h"
+
+namespace patchdb::corpus {
+
+std::string github_commit_url(const std::string& repo, const std::string& hash) {
+  return "https://github.com/oss/" + repo + "/commit/" + hash;
+}
+
+std::string cwe_for_type(int table5_type) {
+  switch (table5_type) {
+    case 1: return "CWE-119";   // improper restriction of memory bounds
+    case 2: return "CWE-476";   // NULL pointer dereference
+    case 3: return "CWE-20";    // improper input validation
+    case 4: return "CWE-190";   // integer overflow
+    case 5: return "CWE-665";   // improper initialization
+    case 6:
+    case 7: return "CWE-686";   // incorrect argument/declaration use
+    case 8: return "CWE-676";   // use of dangerous function
+    case 9: return "CWE-755";   // improper exception/error handling
+    case 10: return "CWE-416";  // use after free / ordering
+    case 11: return "CWE-691";  // insufficient control flow management
+    default: return "CWE-710";  // coding-standard violation
+  }
+}
+
+void RemoteStore::put(std::string url, std::string body) {
+  pages_[std::move(url)] = std::move(body);
+}
+
+std::optional<std::string> RemoteStore::fetch(const std::string& url) const {
+  const auto it = pages_.find(url);
+  if (it == pages_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CrawledPatch> NvdCrawler::crawl(const std::vector<NvdEntry>& entries) {
+  std::vector<CrawledPatch> out;
+  stats_ = CrawlStats{};
+  stats_.entries_total = entries.size();
+
+  for (const NvdEntry& entry : entries) {
+    // The paper only follows references tagged "Patch" that point at
+    // GitHub commit pages.
+    std::vector<const std::string*> commit_links;
+    for (const std::string& url : entry.patch_tagged) {
+      if (util::contains(url, "github.com") && util::contains(url, "/commit/")) {
+        commit_links.push_back(&url);
+      }
+    }
+    if (commit_links.empty()) {
+      ++stats_.entries_without_patch_link;
+      continue;
+    }
+
+    for (const std::string* url : commit_links) {
+      ++stats_.links_fetched;
+      const std::optional<std::string> body = store_.fetch(*url + ".patch");
+      if (!body.has_value()) {
+        ++stats_.links_dead;
+        continue;
+      }
+      diff::Patch patch;
+      try {
+        patch = diff::parse_patch(*body);
+      } catch (const diff::ParseError&) {
+        ++stats_.parse_failures;
+        continue;
+      }
+      const diff::FilterStats filtered = diff::keep_cpp_only(patch);
+      stats_.dropped_non_cpp_files += filtered.files_dropped;
+      if (!diff::has_cpp_changes(patch)) {
+        ++stats_.dropped_empty_after_filter;
+        continue;
+      }
+      ++stats_.patches_collected;
+      out.push_back(CrawledPatch{entry.cve_id, std::move(patch)});
+    }
+  }
+  return out;
+}
+
+}  // namespace patchdb::corpus

@@ -1,0 +1,84 @@
+// Simulated NVD + GitHub transport: CVE entries with reference URLs, an
+// in-memory "remote" that serves GitHub commit pages as `.patch` text,
+// and the crawler that drives the paper's Section III-A pipeline
+// (URL -> download -> parse -> strip non-C/C++ -> dataset). The
+// simulator injects the dirt the paper reports: entries without patch
+// links, dead links, and ~1% wrong links pointing at version-bump pages.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::corpus {
+
+struct NvdEntry {
+  std::string cve_id;                       // "CVE-2017-12345"
+  std::vector<std::string> references;      // all reference URLs
+  std::vector<std::string> patch_tagged;    // subset tagged "Patch"
+  // Enhanced information the NVD layers over CVE (Section II-B): CVSS
+  // base score, a CWE tag, and the disclosure year parsed from the id.
+  double cvss = 0.0;
+  std::string cwe;                          // "CWE-119", ...
+  int year = 0;
+};
+
+/// CWE tag matching a Table V patch pattern (what the vulnerability most
+/// plausibly was, given how it was fixed). Used when fabricating entries.
+std::string cwe_for_type(int table5_type);
+
+/// GitHub commit URL for a repo/hash pair (the form the paper crawls).
+std::string github_commit_url(const std::string& repo, const std::string& hash);
+
+/// In-memory web: URL -> page body. Patch pages live at "<commit>.patch".
+class RemoteStore {
+ public:
+  void put(std::string url, std::string body);
+
+  /// nullopt = 404.
+  std::optional<std::string> fetch(const std::string& url) const;
+
+  std::size_t page_count() const noexcept { return pages_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> pages_;
+};
+
+struct CrawlStats {
+  std::size_t entries_total = 0;
+  std::size_t entries_without_patch_link = 0;
+  std::size_t links_fetched = 0;
+  std::size_t links_dead = 0;
+  std::size_t parse_failures = 0;
+  std::size_t dropped_non_cpp_files = 0;
+  std::size_t dropped_empty_after_filter = 0;
+  std::size_t patches_collected = 0;
+};
+
+struct CrawledPatch {
+  std::string cve_id;
+  diff::Patch patch;
+};
+
+/// Run the NVD collection pipeline over the simulated web.
+class NvdCrawler {
+ public:
+  explicit NvdCrawler(const RemoteStore& store) : store_(store) {}
+
+  /// Crawl every entry's patch-tagged GitHub commit links; download the
+  /// `.patch` form, parse it, strip non-C/C++ file diffs, and keep
+  /// patches that still contain C/C++ hunks.
+  std::vector<CrawledPatch> crawl(const std::vector<NvdEntry>& entries);
+
+  const CrawlStats& stats() const noexcept { return stats_; }
+
+ private:
+  const RemoteStore& store_;
+  CrawlStats stats_;
+};
+
+}  // namespace patchdb::corpus

@@ -1,0 +1,26 @@
+#include "corpus/oracle.h"
+
+#include <stdexcept>
+
+namespace patchdb::corpus {
+
+void Oracle::add(const std::string& commit_hash, GroundTruth truth) {
+  truths_[commit_hash] = truth;
+}
+
+bool Oracle::verify_security(const std::string& commit_hash) {
+  ++effort_;
+  const GroundTruth t = truth(commit_hash);
+  if (label_noise_ > 0.0 && rng_.chance(label_noise_)) return !t.is_security;
+  return t.is_security;
+}
+
+GroundTruth Oracle::truth(const std::string& commit_hash) const {
+  const auto it = truths_.find(commit_hash);
+  if (it == truths_.end()) {
+    throw std::out_of_range("Oracle: unknown commit " + commit_hash);
+  }
+  return it->second;
+}
+
+}  // namespace patchdb::corpus

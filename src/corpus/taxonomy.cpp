@@ -1,0 +1,69 @@
+#include "corpus/taxonomy.h"
+
+namespace patchdb::corpus {
+
+std::string_view patch_type_name(PatchType type) {
+  switch (type) {
+    case PatchType::kBoundCheck: return "add or change bound checks";
+    case PatchType::kNullCheck: return "add or change null checks";
+    case PatchType::kSanityCheck: return "add or change other sanity checks";
+    case PatchType::kVarDefinition: return "change variable definitions";
+    case PatchType::kVarValue: return "change variable values";
+    case PatchType::kFuncDeclaration: return "change function declarations";
+    case PatchType::kFuncParameter: return "change function parameters";
+    case PatchType::kFuncCall: return "add or change function calls";
+    case PatchType::kJumpStatement: return "add or change jump statements";
+    case PatchType::kMoveStatement: return "move statements without modification";
+    case PatchType::kRedesign: return "add or change functions (redesign)";
+    case PatchType::kOther: return "others";
+    case PatchType::kNewFeature: return "new feature";
+    case PatchType::kRefactor: return "refactor";
+    case PatchType::kPerfFix: return "performance fix";
+    case PatchType::kLogicBugFix: return "logic bug fix";
+    case PatchType::kStyle: return "style cleanup";
+    case PatchType::kDocs: return "documentation";
+    case PatchType::kDefensive: return "defensive hardening";
+  }
+  return "unknown";
+}
+
+std::span<const PatchType> security_types() {
+  static constexpr std::array<PatchType, kSecurityTypeCount> kTypes = {
+      PatchType::kBoundCheck,     PatchType::kNullCheck,
+      PatchType::kSanityCheck,    PatchType::kVarDefinition,
+      PatchType::kVarValue,       PatchType::kFuncDeclaration,
+      PatchType::kFuncParameter,  PatchType::kFuncCall,
+      PatchType::kJumpStatement,  PatchType::kMoveStatement,
+      PatchType::kRedesign,       PatchType::kOther,
+  };
+  return kTypes;
+}
+
+std::span<const PatchType> nonsecurity_types() {
+  static constexpr std::array<PatchType, 7> kTypes = {
+      PatchType::kNewFeature, PatchType::kRefactor, PatchType::kPerfFix,
+      PatchType::kLogicBugFix, PatchType::kStyle, PatchType::kDocs,
+      PatchType::kDefensive,
+  };
+  return kTypes;
+}
+
+TypeDistribution nvd_type_distribution() {
+  // Long tail: Types 11, 3, 8 carry ~60% (Fig. 6 left panel).
+  return {0.10, 0.08, 0.20, 0.04, 0.06, 0.02,
+          0.03, 0.15, 0.02, 0.04, 0.25, 0.01};
+}
+
+TypeDistribution wild_type_distribution() {
+  // Reshuffled: Type 8 head, Type 11 down to ~5% (Fig. 6 right panel).
+  return {0.11, 0.10, 0.17, 0.05, 0.10, 0.02,
+          0.03, 0.28, 0.02, 0.06, 0.05, 0.01};
+}
+
+TypeDistribution patchdb_type_distribution() {
+  // Table V column "%".
+  return {0.108, 0.091, 0.180, 0.048, 0.091, 0.018,
+          0.026, 0.244, 0.017, 0.050, 0.120, 0.008};
+}
+
+}  // namespace patchdb::corpus

@@ -1,0 +1,76 @@
+// The paper's 12-type security-patch taxonomy (Table V) plus the
+// non-security commit kinds the wild pool mixes in. Type frequencies for
+// "NVD-like" (long-tail, Fig. 6 left) and "wild-like" (reshuffled,
+// Fig. 6 right) sampling are provided as defaults and are configurable.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace patchdb::corpus {
+
+enum class PatchType : int {
+  // Security fix patterns, Table V ids 1..12.
+  kBoundCheck = 1,       // add or change bound checks
+  kNullCheck = 2,        // add or change null checks
+  kSanityCheck = 3,      // add or change other sanity checks
+  kVarDefinition = 4,    // change variable definitions
+  kVarValue = 5,         // change variable values
+  kFuncDeclaration = 6,  // change function declarations
+  kFuncParameter = 7,    // change function parameters
+  kFuncCall = 8,         // add or change function calls
+  kJumpStatement = 9,    // add or change jump statements
+  kMoveStatement = 10,   // move statements without modification
+  kRedesign = 11,        // add or change functions (redesign)
+  kOther = 12,           // uncommon minor changes
+
+  // Non-security commit kinds (not part of Table V).
+  kNewFeature = 100,
+  kRefactor = 101,
+  kPerfFix = 102,
+  kLogicBugFix = 103,
+  kStyle = 104,
+  kDocs = 105,
+  /// Defensive hardening: adds checks/guards that are syntactically
+  /// identical to security fixes but do not close an exploitable hole
+  /// (belt-and-suspenders checks, robustness guards). These are why
+  /// candidate precision cannot approach 100% from the diff alone — the
+  /// paper's experts separate them using context the 60 features never
+  /// see, and the oracle models exactly that.
+  kDefensive = 106,
+};
+
+inline constexpr std::size_t kSecurityTypeCount = 12;
+
+/// True for the Table V security types.
+constexpr bool is_security_type(PatchType type) noexcept {
+  return static_cast<int>(type) >= 1 &&
+         static_cast<int>(type) <= static_cast<int>(kSecurityTypeCount);
+}
+
+/// Table V row label for a security type; short tag for the others.
+std::string_view patch_type_name(PatchType type);
+
+/// The Table V security types in id order (1..12).
+std::span<const PatchType> security_types();
+
+/// The non-security kinds.
+std::span<const PatchType> nonsecurity_types();
+
+/// Security-type sampling weights (index 0 = Type 1 ... index 11 = Type 12).
+using TypeDistribution = std::array<double, kSecurityTypeCount>;
+
+/// Long-tail distribution matching the paper's NVD-based dataset
+/// (Fig. 6: three head classes carry ~60%, Type 11 is the head).
+TypeDistribution nvd_type_distribution();
+
+/// Reshuffled distribution matching the paper's wild-based dataset
+/// (Fig. 6: Type 8 becomes the head, Type 11 drops to ~5%).
+TypeDistribution wild_type_distribution();
+
+/// PatchDB-wide distribution (Table V percentages).
+TypeDistribution patchdb_type_distribution();
+
+}  // namespace patchdb::corpus

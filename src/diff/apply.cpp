@@ -1,0 +1,126 @@
+#include "diff/apply.h"
+
+#include <algorithm>
+
+namespace patchdb::diff {
+
+namespace {
+
+void check_match(const std::vector<std::string>& lines, std::size_t index,
+                 const std::string& expected, const char* what) {
+  if (index >= lines.size()) {
+    throw ApplyError(std::string("patch refers past end of file while matching ") +
+                     what);
+  }
+  if (lines[index] != expected) {
+    throw ApplyError(std::string("patch context mismatch at line ") +
+                     std::to_string(index + 1) + " (" + what + "): expected '" +
+                     expected + "', found '" + lines[index] + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> apply_file_diff(const std::vector<std::string>& old_lines,
+                                         const FileDiff& fd) {
+  std::vector<std::string> out;
+  out.reserve(old_lines.size() + fd.hunks.size() * 4);
+  std::size_t cursor = 0;  // 0-based index into old_lines
+
+  for (const Hunk& hunk : fd.hunks) {
+    // Hunks with old_count == 0 use old_start as "insert after this line".
+    const std::size_t hunk_begin =
+        hunk.old_count == 0 ? hunk.old_start : hunk.old_start - 1;
+    if (hunk_begin < cursor) throw ApplyError("hunks overlap or are unsorted");
+    while (cursor < hunk_begin) {
+      if (cursor >= old_lines.size()) {
+        throw ApplyError("hunk starts past end of file");
+      }
+      out.push_back(old_lines[cursor++]);
+    }
+    for (const Line& line : hunk.lines) {
+      switch (line.kind) {
+        case LineKind::kContext:
+          check_match(old_lines, cursor, line.text, "context");
+          out.push_back(old_lines[cursor++]);
+          break;
+        case LineKind::kRemoved:
+          check_match(old_lines, cursor, line.text, "removal");
+          ++cursor;
+          break;
+        case LineKind::kAdded:
+          out.push_back(line.text);
+          break;
+      }
+    }
+  }
+  while (cursor < old_lines.size()) out.push_back(old_lines[cursor++]);
+  return out;
+}
+
+FileDiff invert(const FileDiff& fd) {
+  FileDiff inv;
+  inv.old_path = fd.new_path;
+  inv.new_path = fd.old_path;
+  switch (fd.change) {
+    case ChangeKind::kCreate: inv.change = ChangeKind::kDelete; break;
+    case ChangeKind::kDelete: inv.change = ChangeKind::kCreate; break;
+    default: inv.change = fd.change; break;
+  }
+  inv.index_line = fd.index_line;
+  inv.hunks.reserve(fd.hunks.size());
+  for (const Hunk& hunk : fd.hunks) {
+    Hunk rev;
+    rev.old_start = hunk.new_start;
+    rev.old_count = hunk.new_count;
+    rev.new_start = hunk.old_start;
+    rev.new_count = hunk.old_count;
+    rev.section = hunk.section;
+    rev.lines.reserve(hunk.lines.size());
+    // Within each run of -/+ lines git lists removals first; swapping the
+    // kinds keeps that property because we also reorder each run.
+    std::vector<Line> pending_added;
+    auto flush = [&] {
+      for (Line& l : pending_added) rev.lines.push_back(std::move(l));
+      pending_added.clear();
+    };
+    for (const Line& line : hunk.lines) {
+      switch (line.kind) {
+        case LineKind::kContext:
+          flush();
+          rev.lines.push_back(line);
+          break;
+        case LineKind::kRemoved:
+          // becomes an added line, must come after the new removals
+          pending_added.push_back(Line{LineKind::kAdded, line.text});
+          break;
+        case LineKind::kAdded:
+          rev.lines.push_back(Line{LineKind::kRemoved, line.text});
+          break;
+      }
+    }
+    flush();
+    inv.hunks.push_back(std::move(rev));
+  }
+  return inv;
+}
+
+Patch invert(const Patch& patch) {
+  Patch inv = patch;
+  inv.message = "Revert \"" +
+                (patch.message.empty()
+                     ? patch.commit
+                     : std::string(patch.message.substr(0, patch.message.find('\n')))) +
+                "\"";
+  inv.files.clear();
+  inv.files.reserve(patch.files.size());
+  for (const FileDiff& fd : patch.files) inv.files.push_back(invert(fd));
+  return inv;
+}
+
+std::vector<std::string> unapply_file_diff(const std::vector<std::string>& new_lines,
+                                           const FileDiff& fd) {
+  return apply_file_diff(new_lines, invert(fd));
+}
+
+}  // namespace patchdb::diff

@@ -1,0 +1,34 @@
+// Patch application and inversion. The synthesizer (Section III-C of
+// the paper) reconstructs the BEFORE and AFTER versions of every file a
+// patch touches by "rolling back the repository" — here that is applying
+// or un-applying the FileDiff to stored file content.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::diff {
+
+class ApplyError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Apply one file's hunks to its old content (as lines, no newlines).
+/// Context and removed lines must match exactly; throws ApplyError on
+/// any mismatch (corrupt patch or wrong base version).
+std::vector<std::string> apply_file_diff(const std::vector<std::string>& old_lines,
+                                         const FileDiff& fd);
+
+/// Reverse application: reconstruct the old content from the new.
+std::vector<std::string> unapply_file_diff(const std::vector<std::string>& new_lines,
+                                           const FileDiff& fd);
+
+/// Swap the roles of added and removed lines, producing the inverse patch
+/// (apply(invert(p)) undoes apply(p)).
+FileDiff invert(const FileDiff& fd);
+Patch invert(const Patch& patch);
+
+}  // namespace patchdb::diff

@@ -1,0 +1,32 @@
+#include "diff/filter.h"
+
+#include <algorithm>
+
+namespace patchdb::diff {
+
+FilterStats keep_cpp_only(Patch& patch) {
+  FilterStats stats;
+  std::vector<FileDiff> kept;
+  kept.reserve(patch.files.size());
+  for (FileDiff& fd : patch.files) {
+    const std::string& path = fd.new_path.empty() ? fd.old_path : fd.new_path;
+    if (is_cpp_path(path)) {
+      ++stats.files_kept;
+      kept.push_back(std::move(fd));
+    } else {
+      ++stats.files_dropped;
+      stats.dropped_paths.push_back(path);
+    }
+  }
+  patch.files = std::move(kept);
+  return stats;
+}
+
+bool has_cpp_changes(const Patch& patch) {
+  return std::any_of(patch.files.begin(), patch.files.end(), [](const FileDiff& fd) {
+    const std::string& path = fd.new_path.empty() ? fd.old_path : fd.new_path;
+    return is_cpp_path(path) && !fd.hunks.empty();
+  });
+}
+
+}  // namespace patchdb::diff

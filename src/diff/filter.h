@@ -1,0 +1,29 @@
+// The non-C/C++ stripping step of the NVD pipeline (Section III-A):
+// real security patches drag along .changelog/.kconfig/.sh/.phpt edits
+// that "do not play an important role in fixing vulnerabilities". The
+// filter removes those FileDiffs and reports what it dropped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::diff {
+
+struct FilterStats {
+  std::size_t files_kept = 0;
+  std::size_t files_dropped = 0;
+  std::vector<std::string> dropped_paths;
+};
+
+/// Remove every FileDiff whose path is not a C/C++ source or header.
+/// Returns what was dropped; the patch is edited in place.
+FilterStats keep_cpp_only(Patch& patch);
+
+/// True when a patch still contains at least one C/C++ hunk (patches that
+/// end up empty after filtering are discarded by the collector).
+bool has_cpp_changes(const Patch& patch);
+
+}  // namespace patchdb::diff

@@ -1,0 +1,43 @@
+// Fuzzy patch application, GNU-patch style. Real `.patch` files often
+// target a slightly different version of the file than the one at hand:
+// line numbers drift, or the outermost context lines changed. The fuzzy
+// applier relocates each hunk within +/- max_offset lines of its stated
+// position and, failing that, retries with up to `max_fuzz` context
+// lines ignored at each hunk edge — the tolerance the collection
+// pipeline needs when a crawled patch does not match the checkout.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::diff {
+
+struct FuzzOptions {
+  std::size_t max_offset = 50;  // search radius around the stated position
+  std::size_t max_fuzz = 2;     // context lines ignorable per hunk edge
+};
+
+struct FuzzReport {
+  std::size_t hunks_applied = 0;
+  std::size_t hunks_offset = 0;   // applied away from the stated position
+  std::size_t hunks_fuzzed = 0;   // applied with reduced context
+  std::size_t hunks_failed = 0;   // skipped entirely
+  std::vector<std::string> notes;
+
+  bool clean() const noexcept {
+    return hunks_offset == 0 && hunks_fuzzed == 0 && hunks_failed == 0;
+  }
+};
+
+/// Apply as much of `fd` as possible to `lines`; returns the patched
+/// content plus a report. Unlike apply_file_diff this never throws on
+/// mismatch — failed hunks are recorded and skipped.
+std::vector<std::string> apply_with_fuzz(const std::vector<std::string>& lines,
+                                         const FileDiff& fd, FuzzReport& report,
+                                         const FuzzOptions& options = {});
+
+}  // namespace patchdb::diff

@@ -1,0 +1,210 @@
+#include "diff/myers.h"
+
+#include <algorithm>
+
+namespace patchdb::diff {
+
+namespace {
+
+enum class EditKind { kKeep, kRemove, kAdd };
+
+struct Edit {
+  EditKind kind;
+  std::size_t index;  // index into old (kKeep/kRemove) or new (kAdd)
+};
+
+/// Myers greedy O((N+M)D) edit script.
+std::vector<Edit> edit_script(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t max_d = n + m;
+  if (max_d == 0) return {};
+
+  // v[k + offset] = furthest x on diagonal k after d steps.
+  const std::size_t offset = max_d;
+  std::vector<std::size_t> v(2 * max_d + 1, 0);
+  std::vector<std::vector<std::size_t>> trace;
+
+  std::size_t final_d = 0;
+  bool found = false;
+  for (std::size_t d = 0; d <= max_d && !found; ++d) {
+    trace.push_back(v);
+    for (std::int64_t k = -static_cast<std::int64_t>(d);
+         k <= static_cast<std::int64_t>(d); k += 2) {
+      const std::size_t ki = static_cast<std::size_t>(k + static_cast<std::int64_t>(offset));
+      std::size_t x;
+      if (k == -static_cast<std::int64_t>(d) ||
+          (k != static_cast<std::int64_t>(d) && v[ki - 1] < v[ki + 1])) {
+        x = v[ki + 1];  // move down (insert from b)
+      } else {
+        x = v[ki - 1] + 1;  // move right (delete from a)
+      }
+      std::size_t y = static_cast<std::size_t>(static_cast<std::int64_t>(x) - k);
+      while (x < n && y < m && a[x] == b[y]) {
+        ++x;
+        ++y;
+      }
+      v[ki] = x;
+      if (x >= n && y >= m) {
+        final_d = d;
+        found = true;
+        break;
+      }
+    }
+  }
+
+  // Backtrack through the trace to recover the script.
+  std::vector<Edit> script;
+  std::int64_t x = static_cast<std::int64_t>(n);
+  std::int64_t y = static_cast<std::int64_t>(m);
+  for (std::size_t d = final_d; d > 0; --d) {
+    const auto& prev = trace[d];
+    const std::int64_t k = x - y;
+    const std::size_t ki = static_cast<std::size_t>(k + static_cast<std::int64_t>(offset));
+    std::int64_t prev_k;
+    if (k == -static_cast<std::int64_t>(d) ||
+        (k != static_cast<std::int64_t>(d) && prev[ki - 1] < prev[ki + 1])) {
+      prev_k = k + 1;
+    } else {
+      prev_k = k - 1;
+    }
+    const std::size_t prev_ki =
+        static_cast<std::size_t>(prev_k + static_cast<std::int64_t>(offset));
+    const std::int64_t prev_x = static_cast<std::int64_t>(prev[prev_ki]);
+    const std::int64_t prev_y = prev_x - prev_k;
+
+    // Snake (diagonal keeps) back to the branch point.
+    while (x > prev_x && y > prev_y) {
+      script.push_back(Edit{EditKind::kKeep, static_cast<std::size_t>(x - 1)});
+      --x;
+      --y;
+    }
+    if (x == prev_x) {
+      script.push_back(Edit{EditKind::kAdd, static_cast<std::size_t>(y - 1)});
+      --y;
+    } else {
+      script.push_back(Edit{EditKind::kRemove, static_cast<std::size_t>(x - 1)});
+      --x;
+    }
+  }
+  while (x > 0 && y > 0) {
+    script.push_back(Edit{EditKind::kKeep, static_cast<std::size_t>(x - 1)});
+    --x;
+    --y;
+  }
+  while (x > 0) {
+    script.push_back(Edit{EditKind::kRemove, static_cast<std::size_t>(x - 1)});
+    --x;
+  }
+  while (y > 0) {
+    script.push_back(Edit{EditKind::kAdd, static_cast<std::size_t>(y - 1)});
+    --y;
+  }
+  std::reverse(script.begin(), script.end());
+  return script;
+}
+
+}  // namespace
+
+std::vector<Hunk> diff_lines(const std::vector<std::string>& old_lines,
+                             const std::vector<std::string>& new_lines,
+                             const DiffOptions& options) {
+  const std::vector<Edit> script = edit_script(old_lines, new_lines);
+
+  // Group the script into hunks: runs of changes separated by more than
+  // 2*context keep-lines. Walk the script tracking both line counters.
+  std::vector<Hunk> hunks;
+  std::size_t i = 0;
+  std::size_t old_line = 0;  // 0-based, lines consumed from old
+  std::size_t new_line = 0;
+
+  while (i < script.size()) {
+    // Skip keeps to the next change.
+    while (i < script.size() && script[i].kind == EditKind::kKeep) {
+      ++old_line;
+      ++new_line;
+      ++i;
+    }
+    if (i >= script.size()) break;
+
+    // Begin a hunk `context` lines before the change.
+    Hunk hunk;
+    const std::size_t lead = std::min(options.context, old_line);
+    std::size_t h_old = old_line - lead;
+    std::size_t h_new = new_line - lead;
+    hunk.old_start = h_old + 1;
+    hunk.new_start = h_new + 1;
+    for (std::size_t c = 0; c < lead; ++c) {
+      hunk.lines.push_back(Line{LineKind::kContext, old_lines[h_old + c]});
+    }
+
+    std::size_t trailing_keeps = 0;
+    while (i < script.size()) {
+      const Edit& e = script[i];
+      if (e.kind == EditKind::kKeep) {
+        // Look ahead: if the run of keeps reaches the end or exceeds
+        // 2*context, close the hunk with `context` of them.
+        std::size_t run = 0;
+        while (i + run < script.size() && script[i + run].kind == EditKind::kKeep) {
+          ++run;
+        }
+        const bool at_end = (i + run >= script.size());
+        if (at_end || run > 2 * options.context) {
+          const std::size_t keep = std::min(options.context, run);
+          for (std::size_t c = 0; c < keep; ++c) {
+            hunk.lines.push_back(Line{LineKind::kContext, old_lines[old_line]});
+            ++old_line;
+            ++new_line;
+            ++i;
+          }
+          trailing_keeps = keep;
+          break;
+        }
+        // Short gap: absorb all keeps into the hunk and continue.
+        for (std::size_t c = 0; c < run; ++c) {
+          hunk.lines.push_back(Line{LineKind::kContext, old_lines[old_line]});
+          ++old_line;
+          ++new_line;
+          ++i;
+        }
+      } else if (e.kind == EditKind::kRemove) {
+        hunk.lines.push_back(Line{LineKind::kRemoved, old_lines[e.index]});
+        ++old_line;
+        ++i;
+      } else {
+        hunk.lines.push_back(Line{LineKind::kAdded, new_lines[e.index]});
+        ++new_line;
+        ++i;
+      }
+    }
+    (void)trailing_keeps;
+
+    hunk.old_count = 0;
+    hunk.new_count = 0;
+    for (const Line& l : hunk.lines) {
+      if (l.kind != LineKind::kAdded) ++hunk.old_count;
+      if (l.kind != LineKind::kRemoved) ++hunk.new_count;
+    }
+    // git's convention: a hunk with zero old lines anchors at the previous
+    // line number (old_start is "insert after").
+    if (hunk.old_count == 0) hunk.old_start = h_old;
+    if (hunk.new_count == 0) hunk.new_start = h_new;
+    hunks.push_back(std::move(hunk));
+  }
+  return hunks;
+}
+
+FileDiff diff_file(const std::string& path, const std::vector<std::string>& old_lines,
+                   const std::vector<std::string>& new_lines,
+                   const DiffOptions& options) {
+  FileDiff fd;
+  fd.old_path = path;
+  fd.new_path = path;
+  if (old_lines.empty() && !new_lines.empty()) fd.change = ChangeKind::kCreate;
+  if (!old_lines.empty() && new_lines.empty()) fd.change = ChangeKind::kDelete;
+  fd.hunks = diff_lines(old_lines, new_lines, options);
+  return fd;
+}
+
+}  // namespace patchdb::diff

@@ -1,0 +1,266 @@
+#include "diff/parse.h"
+
+#include <cstddef>
+
+#include "util/strings.h"
+
+namespace patchdb::diff {
+
+namespace {
+
+using util::split_lines;
+using util::starts_with;
+using util::trim;
+
+struct Cursor {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+
+  bool done() const noexcept { return pos >= lines.size(); }
+  std::string_view peek() const { return lines[pos]; }
+  std::string_view next() { return lines[pos++]; }
+  std::size_t human_line() const noexcept { return pos + 1; }
+};
+
+/// Strip "a/" or "b/" git path prefixes; "/dev/null" maps to empty.
+std::string clean_path(std::string_view raw) {
+  raw = trim(raw);
+  if (raw == "/dev/null") return "";
+  if (starts_with(raw, "a/") || starts_with(raw, "b/")) raw.remove_prefix(2);
+  return std::string(raw);
+}
+
+/// Parse "@@ -a[,b] +c[,d] @@ section".
+bool parse_hunk_header(std::string_view line, Hunk& hunk) {
+  if (!starts_with(line, "@@ -")) return false;
+  const std::size_t close = line.find(" @@", 3);
+  if (close == std::string_view::npos) return false;
+  std::string_view ranges = line.substr(4, close - 4);  // "a,b +c,d"
+  const std::size_t plus = ranges.find(" +");
+  if (plus == std::string_view::npos) return false;
+
+  auto parse_range = [](std::string_view text, std::size_t& start,
+                        std::size_t& count) {
+    const std::size_t comma = text.find(',');
+    if (comma == std::string_view::npos) {
+      count = 1;
+      return util::parse_size(text, start);
+    }
+    return util::parse_size(text.substr(0, comma), start) &&
+           util::parse_size(text.substr(comma + 1), count);
+  };
+
+  if (!parse_range(ranges.substr(0, plus), hunk.old_start, hunk.old_count)) {
+    return false;
+  }
+  if (!parse_range(ranges.substr(plus + 2), hunk.new_start, hunk.new_count)) {
+    return false;
+  }
+  std::string_view section = line.substr(close + 3);
+  hunk.section = std::string(trim(section));
+  return true;
+}
+
+/// Parse the body of one hunk; `header` has already been consumed into `hunk`.
+void parse_hunk_body(Cursor& cur, Hunk& hunk) {
+  std::size_t old_seen = 0;
+  std::size_t new_seen = 0;
+  while (!cur.done() && (old_seen < hunk.old_count || new_seen < hunk.new_count)) {
+    std::string_view line = cur.peek();
+    if (starts_with(line, "\\ No newline")) {  // marker, not content
+      cur.next();
+      continue;
+    }
+    Line entry;
+    if (line.empty()) {
+      // Some tools emit empty context lines with the leading space dropped.
+      entry.kind = LineKind::kContext;
+      entry.text = "";
+      ++old_seen;
+      ++new_seen;
+    } else if (line[0] == ' ') {
+      entry.kind = LineKind::kContext;
+      entry.text = std::string(line.substr(1));
+      ++old_seen;
+      ++new_seen;
+    } else if (line[0] == '-') {
+      entry.kind = LineKind::kRemoved;
+      entry.text = std::string(line.substr(1));
+      ++old_seen;
+    } else if (line[0] == '+') {
+      entry.kind = LineKind::kAdded;
+      entry.text = std::string(line.substr(1));
+      ++new_seen;
+    } else {
+      throw ParseError("unexpected line inside hunk", cur.human_line());
+    }
+    hunk.lines.push_back(std::move(entry));
+    cur.next();
+  }
+  if (old_seen != hunk.old_count || new_seen != hunk.new_count) {
+    throw ParseError("hunk shorter than its header claims", cur.human_line());
+  }
+  // Swallow a trailing no-newline marker that applies to the last line.
+  if (!cur.done() && starts_with(cur.peek(), "\\ No newline")) cur.next();
+}
+
+/// Parse one `diff --git` section. The "diff --git" line is at cur.peek().
+FileDiff parse_one_file(Cursor& cur) {
+  FileDiff fd;
+  std::string_view header = cur.next();
+  // "diff --git a/path b/path" — paths may contain spaces; git quotes them,
+  // but the common case splits on " b/".
+  std::string_view rest = header.substr(std::string_view("diff --git ").size());
+  const std::size_t split_at = rest.rfind(" b/");
+  if (split_at == std::string_view::npos) {
+    throw ParseError("cannot split diff --git paths", cur.human_line() - 1);
+  }
+  fd.old_path = clean_path(rest.substr(0, split_at));
+  fd.new_path = clean_path(rest.substr(split_at + 1));
+
+  // Extended header lines until we hit ---, another diff, or a hunk.
+  while (!cur.done()) {
+    std::string_view line = cur.peek();
+    if (starts_with(line, "diff --git") || starts_with(line, "@@ -")) break;
+    if (starts_with(line, "--- ")) break;
+    if (starts_with(line, "index ")) {
+      fd.index_line = std::string(trim(line.substr(6)));
+    } else if (starts_with(line, "new file")) {
+      fd.change = ChangeKind::kCreate;
+    } else if (starts_with(line, "deleted file")) {
+      fd.change = ChangeKind::kDelete;
+    } else if (starts_with(line, "rename from") || starts_with(line, "rename to")) {
+      fd.change = ChangeKind::kRename;
+    } else if (starts_with(line, "Binary files")) {
+      cur.next();
+      return fd;  // binary: no hunks to parse
+    }
+    // old mode / new mode / similarity index / copy from ... — skip.
+    cur.next();
+  }
+
+  // --- / +++ lines (absent for pure renames and mode changes).
+  if (!cur.done() && starts_with(cur.peek(), "--- ")) {
+    std::string old_name = clean_path(cur.next().substr(4));
+    if (old_name.empty()) fd.change = ChangeKind::kCreate;
+    if (cur.done() || !starts_with(cur.peek(), "+++ ")) {
+      throw ParseError("--- without matching +++", cur.human_line());
+    }
+    std::string new_name = clean_path(cur.next().substr(4));
+    if (new_name.empty()) fd.change = ChangeKind::kDelete;
+  }
+
+  while (!cur.done() && starts_with(cur.peek(), "@@ -")) {
+    Hunk hunk;
+    if (!parse_hunk_header(cur.peek(), hunk)) {
+      throw ParseError("malformed hunk header", cur.human_line());
+    }
+    cur.next();
+    parse_hunk_body(cur, hunk);
+    fd.hunks.push_back(std::move(hunk));
+  }
+  return fd;
+}
+
+/// Parse commit metadata lines until the first "diff --git".
+void parse_commit_header(Cursor& cur, Patch& patch) {
+  bool in_message = false;
+  std::string message;
+  while (!cur.done() && !starts_with(cur.peek(), "diff --git")) {
+    std::string_view line = cur.next();
+    if (!in_message) {
+      if (starts_with(line, "commit ")) {
+        patch.commit = std::string(trim(line.substr(7)));
+        // `git log --decorate` can append " (HEAD -> main)" — drop it.
+        const std::size_t sp = patch.commit.find(' ');
+        if (sp != std::string::npos) patch.commit.resize(sp);
+      } else if (starts_with(line, "From ")) {
+        // format-patch style: "From <hash> Mon Sep 17 00:00:00 2001"
+        const auto fields = util::split_ws(line);
+        if (fields.size() >= 2) patch.commit = std::string(fields[1]);
+      } else if (starts_with(line, "Author:") || starts_with(line, "From:")) {
+        const std::size_t colon = line.find(':');
+        patch.author = std::string(trim(line.substr(colon + 1)));
+      } else if (starts_with(line, "Date:")) {
+        patch.date = std::string(trim(line.substr(5)));
+      } else if (starts_with(line, "Subject:")) {
+        message = std::string(trim(line.substr(8)));
+        in_message = true;
+      } else if (line.empty()) {
+        in_message = true;  // blank line separates header from message body
+      }
+    } else {
+      // Git indents log messages with four spaces; format-patch does not.
+      std::string_view body = starts_with(line, "    ") ? line.substr(4) : line;
+      if (!message.empty()) message += '\n';
+      message += body;
+      // format-patch ends the message with a "---" separator before diffstat.
+      if (trim(body) == "---") {
+        message.resize(message.size() - 4);
+        break;
+      }
+    }
+  }
+  patch.message = std::string(trim(message));
+  // Skip diffstat lines between "---" and the first "diff --git".
+  while (!cur.done() && !starts_with(cur.peek(), "diff --git")) cur.next();
+}
+
+}  // namespace
+
+Patch parse_patch(std::string_view text) {
+  Cursor cur{split_lines(text)};
+  Patch patch;
+  parse_commit_header(cur, patch);
+  while (!cur.done() && starts_with(cur.peek(), "diff --git")) {
+    patch.files.push_back(parse_one_file(cur));
+  }
+  if (patch.files.empty() && patch.commit.empty()) {
+    throw ParseError("input contains neither commit header nor diffs", 1);
+  }
+  return patch;
+}
+
+std::vector<Patch> parse_patch_stream(std::string_view text) {
+  // Split on lines that start a new commit.
+  std::vector<Patch> out;
+  const auto lines = split_lines(text);
+  std::size_t start_line = 0;
+  bool have_start = false;
+  std::size_t offset = 0;  // byte offset of current line
+  std::size_t start_offset = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> spans;  // [begin, end) bytes
+  for (std::size_t i = 0; i <= lines.size(); ++i) {
+    const bool is_commit_start =
+        i < lines.size() && starts_with(lines[i], "commit ");
+    if (is_commit_start || i == lines.size()) {
+      if (have_start) spans.emplace_back(start_offset, offset);
+      start_offset = offset;
+      start_line = i;
+      have_start = is_commit_start;
+    }
+    if (i < lines.size()) {
+      // +1 for the newline; the final line may lack one but the value is
+      // only used as an upper bound.
+      offset += lines[i].size() + 1;
+    }
+  }
+  (void)start_line;
+  for (auto [begin, end] : spans) {
+    const std::size_t len = std::min(end, text.size()) - begin;
+    out.push_back(parse_patch(text.substr(begin, len)));
+  }
+  return out;
+}
+
+std::vector<FileDiff> parse_file_diffs(std::string_view text) {
+  Cursor cur{split_lines(text)};
+  std::vector<FileDiff> out;
+  while (!cur.done() && !starts_with(cur.peek(), "diff --git")) cur.next();
+  while (!cur.done() && starts_with(cur.peek(), "diff --git")) {
+    out.push_back(parse_one_file(cur));
+  }
+  return out;
+}
+
+}  // namespace patchdb::diff

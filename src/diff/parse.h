@@ -1,0 +1,42 @@
+// Parser for git-format unified diffs (the `.patch` files the NVD
+// crawler downloads from GitHub). Tolerant of the dirt real patches
+// carry — "\ No newline at end of file" markers, mode-change lines,
+// binary-file notices — and strict about structure where it matters
+// (hunk headers must parse; line counts must match the header).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::diff {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string_view what, std::size_t line)
+      : std::runtime_error(std::string(what) + " (input line " +
+                           std::to_string(line) + ")"),
+        line_(line) {}
+
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse one commit in `git format-patch` / GitHub `.patch` form.
+/// Throws ParseError on malformed input.
+Patch parse_patch(std::string_view text);
+
+/// Parse a stream of commits separated by "commit <hash>" headers
+/// (`git log -p` output form).
+std::vector<Patch> parse_patch_stream(std::string_view text);
+
+/// Parse only the diff body (no commit header): a sequence of
+/// `diff --git` sections.
+std::vector<FileDiff> parse_file_diffs(std::string_view text);
+
+}  // namespace patchdb::diff

@@ -1,0 +1,68 @@
+#include "diff/patch.h"
+
+#include "util/strings.h"
+
+namespace patchdb::diff {
+
+std::size_t Hunk::added_count() const noexcept {
+  std::size_t n = 0;
+  for (const Line& l : lines) n += (l.kind == LineKind::kAdded);
+  return n;
+}
+
+std::size_t Hunk::removed_count() const noexcept {
+  std::size_t n = 0;
+  for (const Line& l : lines) n += (l.kind == LineKind::kRemoved);
+  return n;
+}
+
+std::size_t Hunk::context_count() const noexcept {
+  std::size_t n = 0;
+  for (const Line& l : lines) n += (l.kind == LineKind::kContext);
+  return n;
+}
+
+namespace {
+std::string join_kind(const std::vector<Line>& lines, LineKind kind) {
+  std::string out;
+  bool first = true;
+  for (const Line& l : lines) {
+    if (l.kind != kind) continue;
+    if (!first) out += '\n';
+    out += l.text;
+    first = false;
+  }
+  return out;
+}
+}  // namespace
+
+std::string Hunk::removed_text() const { return join_kind(lines, LineKind::kRemoved); }
+std::string Hunk::added_text() const { return join_kind(lines, LineKind::kAdded); }
+
+std::size_t Patch::hunk_count() const noexcept {
+  std::size_t n = 0;
+  for (const FileDiff& f : files) n += f.hunks.size();
+  return n;
+}
+
+std::size_t Patch::added_lines() const noexcept {
+  std::size_t n = 0;
+  for (const FileDiff& f : files)
+    for (const Hunk& h : f.hunks) n += h.added_count();
+  return n;
+}
+
+std::size_t Patch::removed_lines() const noexcept {
+  std::size_t n = 0;
+  for (const FileDiff& f : files)
+    for (const Hunk& h : f.hunks) n += h.removed_count();
+  return n;
+}
+
+bool is_cpp_path(std::string_view path) {
+  const std::string ext = util::extension(path);
+  return ext == ".c" || ext == ".cc" || ext == ".cpp" || ext == ".cxx" ||
+         ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".hxx";
+}
+
+}  // namespace patchdb::diff

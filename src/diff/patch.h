@@ -1,0 +1,77 @@
+// Unified-diff data model. A Patch mirrors one `git show --format=...`
+// commit: metadata plus one FileDiff per modified file, each FileDiff a
+// sequence of Hunks, each Hunk a run of context/removed/added Lines.
+// This is the shape the paper works with: "a commit can be regarded as a
+// patch", hunks are "consecutive removed and added statements", and the
+// NVD pipeline strips non-C/C++ FileDiffs before feature extraction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patchdb::diff {
+
+enum class LineKind { kContext, kRemoved, kAdded };
+
+struct Line {
+  LineKind kind = LineKind::kContext;
+  std::string text;  // without the +/-/space marker and without newline
+
+  friend bool operator==(const Line&, const Line&) = default;
+};
+
+/// One `@@ -a,b +c,d @@ section` block.
+struct Hunk {
+  std::size_t old_start = 0;  // 1-based line number in the old file
+  std::size_t old_count = 0;
+  std::size_t new_start = 0;  // 1-based line number in the new file
+  std::size_t new_count = 0;
+  std::string section;  // the function signature git prints after `@@`
+  std::vector<Line> lines;
+
+  std::size_t added_count() const noexcept;
+  std::size_t removed_count() const noexcept;
+  std::size_t context_count() const noexcept;
+
+  /// All removed (respectively added) line texts joined with '\n'.
+  std::string removed_text() const;
+  std::string added_text() const;
+
+  friend bool operator==(const Hunk&, const Hunk&) = default;
+};
+
+enum class ChangeKind { kModify, kCreate, kDelete, kRename };
+
+/// Changes to a single file (`diff --git a/... b/...`).
+struct FileDiff {
+  std::string old_path;  // without the a/ prefix
+  std::string new_path;  // without the b/ prefix
+  ChangeKind change = ChangeKind::kModify;
+  std::string index_line;  // "old_blob..new_blob mode", informational
+  std::vector<Hunk> hunks;
+
+  friend bool operator==(const FileDiff&, const FileDiff&) = default;
+};
+
+/// A whole commit.
+struct Patch {
+  std::string commit;   // 40-hex id
+  std::string author;
+  std::string date;
+  std::string message;  // full commit message (subject + body)
+  std::vector<FileDiff> files;
+
+  std::size_t hunk_count() const noexcept;
+  std::size_t added_lines() const noexcept;
+  std::size_t removed_lines() const noexcept;
+
+  friend bool operator==(const Patch&, const Patch&) = default;
+};
+
+/// True when the path has a C/C++ source or header extension
+/// (.c, .cc, .cpp, .cxx, .h, .hpp, .hh, .hxx).
+bool is_cpp_path(std::string_view path);
+
+}  // namespace patchdb::diff

@@ -1,0 +1,84 @@
+#include "diff/render.h"
+
+#include "util/strings.h"
+
+namespace patchdb::diff {
+
+namespace {
+
+void render_hunk(const Hunk& hunk, std::string& out) {
+  out += "@@ -";
+  out += std::to_string(hunk.old_start);
+  out += ',';
+  out += std::to_string(hunk.old_count);
+  out += " +";
+  out += std::to_string(hunk.new_start);
+  out += ',';
+  out += std::to_string(hunk.new_count);
+  out += " @@";
+  if (!hunk.section.empty()) {
+    out += ' ';
+    out += hunk.section;
+  }
+  out += '\n';
+  for (const Line& line : hunk.lines) {
+    switch (line.kind) {
+      case LineKind::kContext: out += ' '; break;
+      case LineKind::kRemoved: out += '-'; break;
+      case LineKind::kAdded: out += '+'; break;
+    }
+    out += line.text;
+    out += '\n';
+  }
+}
+
+void render_file(const FileDiff& fd, std::string& out) {
+  const std::string& a = fd.old_path.empty() ? fd.new_path : fd.old_path;
+  const std::string& b = fd.new_path.empty() ? fd.old_path : fd.new_path;
+  out += "diff --git a/" + a + " b/" + b + '\n';
+  switch (fd.change) {
+    case ChangeKind::kCreate: out += "new file mode 100644\n"; break;
+    case ChangeKind::kDelete: out += "deleted file mode 100644\n"; break;
+    case ChangeKind::kRename:
+      out += "rename from " + fd.old_path + '\n';
+      out += "rename to " + fd.new_path + '\n';
+      break;
+    case ChangeKind::kModify: break;
+  }
+  if (!fd.index_line.empty()) out += "index " + fd.index_line + '\n';
+  if (!fd.hunks.empty()) {
+    out += "--- " +
+           (fd.change == ChangeKind::kCreate ? "/dev/null" : "a/" + a) + '\n';
+    out += "+++ " +
+           (fd.change == ChangeKind::kDelete ? "/dev/null" : "b/" + b) + '\n';
+    for (const Hunk& hunk : fd.hunks) render_hunk(hunk, out);
+  }
+}
+
+}  // namespace
+
+std::string render_file_diffs(const std::vector<FileDiff>& files) {
+  std::string out;
+  for (const FileDiff& fd : files) render_file(fd, out);
+  return out;
+}
+
+std::string render_patch(const Patch& patch) {
+  std::string out;
+  out += "commit " + patch.commit + '\n';
+  if (!patch.author.empty()) out += "Author: " + patch.author + '\n';
+  if (!patch.date.empty()) out += "Date:   " + patch.date + '\n';
+  out += '\n';
+  if (!patch.message.empty()) {
+    for (std::string_view line : util::split_lines(patch.message)) {
+      out += "    ";
+      out += line;
+      out += '\n';
+    }
+    out += '\n';
+  }
+  out += render_file_diffs(patch.files);
+  return out;
+}
+
+}  // namespace patchdb::diff

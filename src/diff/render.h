@@ -1,0 +1,18 @@
+// Render a Patch back into git unified-diff text. `parse_patch` and
+// `render_patch` round-trip: parse(render(p)) == p for every patch the
+// model can represent, which the property tests assert.
+#pragma once
+
+#include <string>
+
+#include "diff/patch.h"
+
+namespace patchdb::diff {
+
+/// Render only the diff body (`diff --git` sections).
+std::string render_file_diffs(const std::vector<FileDiff>& files);
+
+/// Render the full commit: header (commit/author/date/message) + body.
+std::string render_patch(const Patch& patch);
+
+}  // namespace patchdb::diff

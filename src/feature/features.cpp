@@ -1,0 +1,185 @@
+#include "feature/features.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "lang/abstract.h"
+#include "lang/lexer.h"
+#include "lang/taxonomy.h"
+#include "util/levenshtein.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::feature {
+
+namespace {
+
+constexpr std::array<std::string_view, kFeatureCount> kNames = {
+    "changed_lines",
+    "hunks",
+    "added_lines", "removed_lines", "total_lines", "net_lines",
+    "added_chars", "removed_chars", "total_chars", "net_chars",
+    "added_ifs", "removed_ifs", "total_ifs", "net_ifs",
+    "added_loops", "removed_loops", "total_loops", "net_loops",
+    "added_calls", "removed_calls", "total_calls", "net_calls",
+    "added_arith_ops", "removed_arith_ops", "total_arith_ops", "net_arith_ops",
+    "added_rel_ops", "removed_rel_ops", "total_rel_ops", "net_rel_ops",
+    "added_logic_ops", "removed_logic_ops", "total_logic_ops", "net_logic_ops",
+    "added_bit_ops", "removed_bit_ops", "total_bit_ops", "net_bit_ops",
+    "added_mem_ops", "removed_mem_ops", "total_mem_ops", "net_mem_ops",
+    "added_vars", "removed_vars", "total_vars", "net_vars",
+    "total_modified_funcs", "net_modified_funcs",
+    "lev_mean_raw", "lev_min_raw", "lev_max_raw",
+    "lev_mean_abs", "lev_min_abs", "lev_max_abs",
+    "same_hunks_raw", "same_hunks_abs",
+    "affected_files", "affected_files_pct",
+    "affected_funcs", "affected_funcs_pct",
+};
+
+/// Write the added/removed/total/net quad for one syntactic category.
+void write_quad(FeatureVector& v, std::size_t base, double added, double removed) {
+  v[base] = added;
+  v[base + 1] = removed;
+  v[base + 2] = added + removed;
+  v[base + 3] = added - removed;
+}
+
+}  // namespace
+
+std::span<const std::string_view> feature_names() { return kNames; }
+
+FeatureVector extract(const diff::Patch& patch, const RepoContext& repo) {
+  FeatureVector v{};
+
+  // Gather the added and removed text of the whole patch, and per hunk.
+  std::string all_added;
+  std::string all_removed;
+  std::size_t added_chars = 0;
+  std::size_t removed_chars = 0;
+
+  std::vector<double> lev_raw;
+  std::vector<double> lev_abs;
+  std::size_t same_raw = 0;
+  std::size_t same_abs = 0;
+
+  std::unordered_set<std::string> touched_functions;
+  std::size_t sectionless_hunks = 0;
+
+  for (const diff::FileDiff& fd : patch.files) {
+    for (const diff::Hunk& hunk : fd.hunks) {
+      const std::string removed = hunk.removed_text();
+      const std::string added = hunk.added_text();
+      all_removed += removed;
+      all_removed += '\n';
+      all_added += added;
+      all_added += '\n';
+      added_chars += added.size();
+      removed_chars += removed.size();
+
+      if (!(removed.empty() && added.empty())) {
+        lev_raw.push_back(static_cast<double>(util::levenshtein(removed, added)));
+        const std::string removed_abs = lang::abstract_code(removed);
+        const std::string added_abs = lang::abstract_code(added);
+        lev_abs.push_back(
+            static_cast<double>(util::levenshtein(removed_abs, added_abs)));
+        if (removed == added) ++same_raw;
+        if (removed_abs == added_abs) ++same_abs;
+      }
+
+      if (!hunk.section.empty()) {
+        // The section line is the enclosing function signature; dedupe on
+        // its text to count distinct touched functions.
+        touched_functions.insert(fd.new_path + "::" + hunk.section);
+      } else {
+        ++sectionless_hunks;
+      }
+    }
+  }
+
+  const lang::SyntaxCounts added = lang::count_syntax(all_added);
+  const lang::SyntaxCounts removed = lang::count_syntax(all_removed);
+
+  const double added_lines = static_cast<double>(patch.added_lines());
+  const double removed_lines = static_cast<double>(patch.removed_lines());
+
+  v[0] = added_lines + removed_lines;
+  v[1] = static_cast<double>(patch.hunk_count());
+  write_quad(v, 2, added_lines, removed_lines);
+  write_quad(v, 6, static_cast<double>(added_chars), static_cast<double>(removed_chars));
+  write_quad(v, 10, static_cast<double>(added.if_statements),
+             static_cast<double>(removed.if_statements));
+  write_quad(v, 14, static_cast<double>(added.loops), static_cast<double>(removed.loops));
+  write_quad(v, 18, static_cast<double>(added.function_calls),
+             static_cast<double>(removed.function_calls));
+  write_quad(v, 22, static_cast<double>(added.arithmetic_ops),
+             static_cast<double>(removed.arithmetic_ops));
+  write_quad(v, 26, static_cast<double>(added.relational_ops),
+             static_cast<double>(removed.relational_ops));
+  write_quad(v, 30, static_cast<double>(added.logical_ops),
+             static_cast<double>(removed.logical_ops));
+  write_quad(v, 34, static_cast<double>(added.bitwise_ops),
+             static_cast<double>(removed.bitwise_ops));
+  write_quad(v, 38, static_cast<double>(added.memory_ops),
+             static_cast<double>(removed.memory_ops));
+  write_quad(v, 42, static_cast<double>(added.variables),
+             static_cast<double>(removed.variables));
+
+  const double total_funcs =
+      static_cast<double>(touched_functions.size() + sectionless_hunks);
+  v[46] = total_funcs;
+  v[47] = static_cast<double>(added.function_defs) -
+          static_cast<double>(removed.function_defs);
+
+  auto write_lev = [&v](std::size_t base, const std::vector<double>& values) {
+    if (values.empty()) return;  // stays 0
+    double total = 0.0;
+    double lo = std::numeric_limits<double>::max();
+    double hi = 0.0;
+    for (double d : values) {
+      total += d;
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    v[base] = total / static_cast<double>(values.size());
+    v[base + 1] = lo;
+    v[base + 2] = hi;
+  };
+  write_lev(48, lev_raw);
+  write_lev(51, lev_abs);
+  v[54] = static_cast<double>(same_raw);
+  v[55] = static_cast<double>(same_abs);
+
+  const double files = static_cast<double>(patch.files.size());
+  v[56] = files;
+  if (repo.total_files > 0) {
+    v[57] = files / static_cast<double>(repo.total_files);
+  } else {
+    // Fallback: fraction of listed files that actually carry hunks.
+    double with_hunks = 0.0;
+    for (const diff::FileDiff& fd : patch.files) with_hunks += !fd.hunks.empty();
+    v[57] = files > 0.0 ? with_hunks / files : 0.0;
+  }
+  v[58] = total_funcs;
+  if (repo.total_functions > 0) {
+    v[59] = total_funcs / static_cast<double>(repo.total_functions);
+  } else {
+    const double hunks = v[1];
+    v[59] = hunks > 0.0 ? total_funcs / hunks : 0.0;
+  }
+  return v;
+}
+
+FeatureVector extract(const diff::Patch& patch) { return extract(patch, RepoContext{}); }
+
+FeatureMatrix extract_all(std::span<const diff::Patch> patches) {
+  FeatureMatrix matrix(patches.size());
+  util::default_pool().parallel_for(
+      patches.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          matrix[i] = extract(patches[i]);
+        }
+      });
+  return matrix;
+}
+
+}  // namespace patchdb::feature

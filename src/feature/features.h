@@ -1,0 +1,85 @@
+// The 60-dimension syntactic feature space of Table I. This is the
+// representation the nearest link search, the ML baselines (Table III)
+// and the Random Forest classifier (Table VI) all operate on.
+//
+// Layout (0-based index -> Table I row):
+//   0      #1    changed lines (added + removed)
+//   1      #2    hunks
+//   2-5    #3-6  added/removed/total/net lines
+//   6-9    #7-10 added/removed/total/net characters
+//   10-13  #11-14 added/removed/total/net if statements
+//   14-17  #15-18 added/removed/total/net loops
+//   18-21  #19-22 added/removed/total/net function calls
+//   22-25  #23-26 added/removed/total/net arithmetic operators
+//   26-29  #27-30 added/removed/total/net relational operators
+//   30-33  #31-34 added/removed/total/net logical operators
+//   34-37  #35-38 added/removed/total/net bitwise operators
+//   38-41  #39-42 added/removed/total/net memory operators
+//   42-45  #43-46 added/removed/total/net variables
+//   46-47  #47-48 total/net modified functions
+//   48-50  #49-51 mean/min/max Levenshtein distance within hunks (raw)
+//   51-53  #52-54 mean/min/max Levenshtein distance within hunks (abstracted)
+//   54     #55   same hunks before token abstraction
+//   55     #56   same hunks after token abstraction
+//   56-57  #57-58 # and % of affected files
+//   58-59  #59-60 # and % of affected functions
+//
+// "total" = added + removed; "net" = added - removed (may be negative —
+// the paper's max-abs weighting preserves sign, Section III-B.2).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::feature {
+
+inline constexpr std::size_t kFeatureCount = 60;
+
+using FeatureVector = std::array<double, kFeatureCount>;
+
+/// Human-readable names, index-aligned with FeatureVector.
+std::span<const std::string_view> feature_names();
+
+/// Optional repository-level context. Percent-of-repo features (58, 60 in
+/// Table I numbering) need the denominator; without it the extractor
+/// falls back to within-patch fractions, which is still informative and
+/// keeps the extractor usable on a bare `.patch` file.
+struct RepoContext {
+  std::size_t total_files = 0;
+  std::size_t total_functions = 0;
+};
+
+/// Extract the Table I features from one patch.
+FeatureVector extract(const diff::Patch& patch);
+FeatureVector extract(const diff::Patch& patch, const RepoContext& repo);
+
+/// Row-major feature matrix for a set of patches.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  explicit FeatureMatrix(std::size_t rows) : data_(rows) {}
+
+  void push_back(const FeatureVector& row) { data_.push_back(row); }
+
+  std::size_t rows() const noexcept { return data_.size(); }
+  static constexpr std::size_t cols() noexcept { return kFeatureCount; }
+
+  FeatureVector& operator[](std::size_t i) noexcept { return data_[i]; }
+  const FeatureVector& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+ private:
+  std::vector<FeatureVector> data_;
+};
+
+/// Extract features for many patches (parallel over the default pool).
+FeatureMatrix extract_all(std::span<const diff::Patch> patches);
+
+}  // namespace patchdb::feature

@@ -1,0 +1,242 @@
+#include "lang/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace patchdb::lang {
+
+bool is_keyword(std::string_view word) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      // C
+      "auto", "break", "case", "char", "const", "continue", "default", "do",
+      "double", "else", "enum", "extern", "float", "for", "goto", "if",
+      "inline", "int", "long", "register", "restrict", "return", "short",
+      "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+      "unsigned", "void", "volatile", "while", "_Bool", "_Complex",
+      "_Atomic", "_Static_assert", "_Noreturn", "_Thread_local",
+      // common C++ additions seen in patches
+      "bool", "true", "false", "class", "namespace", "template", "typename",
+      "public", "private", "protected", "virtual", "override", "final",
+      "new", "delete", "this", "nullptr", "using", "try", "catch", "throw",
+      "operator", "friend", "explicit", "mutable", "constexpr", "consteval",
+      "constinit", "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast", "noexcept", "decltype", "concept", "requires",
+      "co_await", "co_return", "co_yield", "alignas", "alignof",
+      "static_assert", "thread_local", "wchar_t", "char8_t", "char16_t",
+      "char32_t", "and", "or", "not", "xor", "NULL",
+  };
+  return kKeywords.contains(word);
+}
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kCharLiteral: return "char";
+    case TokenKind::kOperator: return "operator";
+    case TokenKind::kPunctuator: return "punctuator";
+    case TokenKind::kComment: return "comment";
+    case TokenKind::kPreprocessor: return "preprocessor";
+    case TokenKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Scanner {
+  std::string_view src;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  bool done() const noexcept { return pos >= src.size(); }
+  char peek(std::size_t ahead = 0) const noexcept {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = src[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  }
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool is_ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+// Multi-character operators, longest first within each leading char.
+constexpr std::array<std::string_view, 36> kOperators3Plus = {
+    "<<=", ">>=", "...", "->*", "<=>",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "->", "::", ".*", "##",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!",
+};
+
+constexpr std::string_view kSingleOps = "&|^~?.";
+constexpr std::string_view kPunct = "(){}[];,:#@";
+
+void scan_string(Scanner& s, char quote, std::string& out) {
+  out += s.advance();  // opening quote
+  while (!s.done()) {
+    const char c = s.advance();
+    out += c;
+    if (c == '\\' && !s.done()) {
+      out += s.advance();  // escaped char, even if it is the quote
+      continue;
+    }
+    if (c == quote || c == '\n') break;  // unterminated at EOL: stop
+  }
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, const LexOptions& options) {
+  std::vector<Token> tokens;
+  Scanner s{source};
+
+  while (!s.done()) {
+    const char c = s.peek();
+    const std::size_t tok_line = s.line;
+    const std::size_t tok_col = s.column;
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      s.advance();
+      continue;
+    }
+
+    // Preprocessor directive: only when # begins the (trimmed) line.
+    if (c == '#' && tok_col == 1) {
+      std::string text;
+      while (!s.done() && s.peek() != '\n') {
+        // Line continuations keep the directive going.
+        if (s.peek() == '\\' && s.peek(1) == '\n') {
+          s.advance();
+          s.advance();
+          text += ' ';
+          continue;
+        }
+        text += s.advance();
+      }
+      if (options.keep_preprocessor) {
+        tokens.push_back(Token{TokenKind::kPreprocessor, std::move(text), tok_line, tok_col});
+      }
+      continue;
+    }
+
+    if (c == '/' && s.peek(1) == '/') {
+      std::string text;
+      while (!s.done() && s.peek() != '\n') text += s.advance();
+      if (options.keep_comments) {
+        tokens.push_back(Token{TokenKind::kComment, std::move(text), tok_line, tok_col});
+      }
+      continue;
+    }
+    if (c == '/' && s.peek(1) == '*') {
+      std::string text;
+      text += s.advance();
+      text += s.advance();
+      while (!s.done()) {
+        if (s.peek() == '*' && s.peek(1) == '/') {
+          text += s.advance();
+          text += s.advance();
+          break;
+        }
+        text += s.advance();
+      }
+      if (options.keep_comments) {
+        tokens.push_back(Token{TokenKind::kComment, std::move(text), tok_line, tok_col});
+      }
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::string text;
+      while (!s.done() && is_ident_cont(s.peek())) text += s.advance();
+      const TokenKind kind =
+          is_keyword(text) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+      tokens.push_back(Token{kind, std::move(text), tok_line, tok_col});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(s.peek(1))))) {
+      std::string text;
+      bool seen_exp = false;
+      while (!s.done()) {
+        const char d = s.peek();
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' || d == '\'') {
+          seen_exp = (d == 'e' || d == 'E' || d == 'p' || d == 'P');
+          text += s.advance();
+        } else if ((d == '+' || d == '-') && seen_exp &&
+                   (text.back() == 'e' || text.back() == 'E' ||
+                    text.back() == 'p' || text.back() == 'P')) {
+          text += s.advance();
+        } else {
+          break;
+        }
+      }
+      tokens.push_back(Token{TokenKind::kNumber, std::move(text), tok_line, tok_col});
+      continue;
+    }
+
+    if (c == '"') {
+      std::string text;
+      scan_string(s, '"', text);
+      tokens.push_back(Token{TokenKind::kString, std::move(text), tok_line, tok_col});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      scan_string(s, '\'', text);
+      tokens.push_back(Token{TokenKind::kCharLiteral, std::move(text), tok_line, tok_col});
+      continue;
+    }
+
+    // Operators: try longest match from the table.
+    bool matched = false;
+    for (std::string_view op : kOperators3Plus) {
+      if (source.substr(s.pos, op.size()) == op) {
+        for (std::size_t i = 0; i < op.size(); ++i) s.advance();
+        tokens.push_back(Token{TokenKind::kOperator, std::string(op), tok_line, tok_col});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    if (kSingleOps.find(c) != std::string_view::npos) {
+      s.advance();
+      tokens.push_back(Token{TokenKind::kOperator, std::string(1, c), tok_line, tok_col});
+      continue;
+    }
+    if (kPunct.find(c) != std::string_view::npos) {
+      s.advance();
+      tokens.push_back(Token{TokenKind::kPunctuator, std::string(1, c), tok_line, tok_col});
+      continue;
+    }
+
+    s.advance();
+    tokens.push_back(Token{TokenKind::kUnknown, std::string(1, c), tok_line, tok_col});
+  }
+  return tokens;
+}
+
+std::vector<std::string> lex_texts(std::string_view source, const LexOptions& options) {
+  std::vector<std::string> out;
+  for (Token& t : lex(source, options)) out.push_back(std::move(t.text));
+  return out;
+}
+
+}  // namespace patchdb::lang

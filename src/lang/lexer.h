@@ -1,0 +1,25 @@
+// Hand-written C/C++ lexer. Feature extraction (Table I), token
+// abstraction, and the RNN token stream all start here.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace patchdb::lang {
+
+struct LexOptions {
+  bool keep_comments = false;       // drop comments by default
+  bool keep_preprocessor = true;    // keep # directives as single tokens
+};
+
+/// Tokenize a source fragment. Never throws: unrecognized bytes become
+/// kUnknown tokens so dirty patch content cannot break the pipeline.
+std::vector<Token> lex(std::string_view source, const LexOptions& options = {});
+
+/// Tokenize and return only the token texts (the RNN input form).
+std::vector<std::string> lex_texts(std::string_view source,
+                                   const LexOptions& options = {});
+
+}  // namespace patchdb::lang

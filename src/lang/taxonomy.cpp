@@ -1,0 +1,124 @@
+#include "lang/taxonomy.h"
+
+#include <unordered_set>
+
+#include "lang/lexer.h"
+
+namespace patchdb::lang {
+
+OperatorClass classify_operator(std::string_view op) {
+  if (op == "==" || op == "!=" || op == "<" || op == ">" || op == "<=" ||
+      op == ">=" || op == "<=>") {
+    return OperatorClass::kRelational;
+  }
+  if (op == "&&" || op == "||" || op == "!" || op == "and" || op == "or" ||
+      op == "not") {
+    return OperatorClass::kLogical;
+  }
+  if (op == "&" || op == "|" || op == "^" || op == "~" || op == "<<" ||
+      op == ">>") {
+    return OperatorClass::kBitwise;
+  }
+  if (op == "+" || op == "-" || op == "*" || op == "/" || op == "%" ||
+      op == "++" || op == "--") {
+    return OperatorClass::kArithmetic;
+  }
+  if (op == "=" || op == "+=" || op == "-=" || op == "*=" || op == "/=" ||
+      op == "%=" || op == "&=" || op == "|=" || op == "^=" || op == "<<=" ||
+      op == ">>=") {
+    return OperatorClass::kAssignment;
+  }
+  return OperatorClass::kOther;
+}
+
+bool is_memory_operator(std::string_view name) {
+  static const std::unordered_set<std::string_view> kMemoryOps = {
+      "malloc", "calloc", "realloc", "free", "new", "delete",
+      "memcpy", "memmove", "memset", "memcmp", "mmap", "munmap",
+      "strcpy", "strncpy", "strlcpy", "strcat", "strncat", "strlcat",
+      "strdup", "strndup", "sprintf", "snprintf", "vsnprintf",
+      "alloca", "kmalloc", "kzalloc", "kcalloc", "kfree", "vmalloc",
+      "vfree", "kmem_cache_alloc", "kmem_cache_free", "brk", "sbrk",
+      "xmalloc", "xfree", "g_malloc", "g_free", "av_malloc", "av_free",
+      "OPENSSL_malloc", "OPENSSL_free", "sizeof",
+  };
+  return kMemoryOps.contains(name);
+}
+
+SyntaxCounts& SyntaxCounts::operator+=(const SyntaxCounts& other) noexcept {
+  if_statements += other.if_statements;
+  loops += other.loops;
+  function_calls += other.function_calls;
+  arithmetic_ops += other.arithmetic_ops;
+  relational_ops += other.relational_ops;
+  logical_ops += other.logical_ops;
+  bitwise_ops += other.bitwise_ops;
+  memory_ops += other.memory_ops;
+  variables += other.variables;
+  function_defs += other.function_defs;
+  return *this;
+}
+
+SyntaxCounts count_syntax(const std::vector<Token>& tokens) {
+  SyntaxCounts counts;
+  std::unordered_set<std::string_view> seen_vars;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    const bool next_is_paren = i + 1 < tokens.size() &&
+                               tokens[i + 1].kind == TokenKind::kPunctuator &&
+                               tokens[i + 1].text == "(";
+    switch (t.kind) {
+      case TokenKind::kKeyword:
+        if (t.text == "if") ++counts.if_statements;
+        if (t.text == "for" || t.text == "while" || t.text == "do") ++counts.loops;
+        if (is_memory_operator(t.text)) ++counts.memory_ops;  // new/delete/sizeof
+        break;
+      case TokenKind::kIdentifier:
+        if (is_memory_operator(t.text)) ++counts.memory_ops;
+        if (next_is_paren) {
+          ++counts.function_calls;
+          // Function definition heuristic: `type name ( ... ) {` — the
+          // token before the name is a type-ish token and a '{' follows
+          // the matching ')'.
+          if (i > 0 && (tokens[i - 1].kind == TokenKind::kKeyword ||
+                        tokens[i - 1].kind == TokenKind::kIdentifier ||
+                        tokens[i - 1].text == "*")) {
+            std::size_t depth = 0;
+            for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+              if (tokens[j].text == "(") ++depth;
+              else if (tokens[j].text == ")") {
+                if (--depth == 0) {
+                  if (j + 1 < tokens.size() && tokens[j + 1].text == "{") {
+                    ++counts.function_defs;
+                  }
+                  break;
+                }
+              }
+            }
+          }
+        } else {
+          if (seen_vars.insert(t.text).second) ++counts.variables;
+        }
+        break;
+      case TokenKind::kOperator:
+        switch (classify_operator(t.text)) {
+          case OperatorClass::kArithmetic: ++counts.arithmetic_ops; break;
+          case OperatorClass::kRelational: ++counts.relational_ops; break;
+          case OperatorClass::kLogical: ++counts.logical_ops; break;
+          case OperatorClass::kBitwise: ++counts.bitwise_ops; break;
+          default: break;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return counts;
+}
+
+SyntaxCounts count_syntax(std::string_view source) {
+  return count_syntax(lex(source));
+}
+
+}  // namespace patchdb::lang

@@ -1,0 +1,138 @@
+#include "ml/bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patchdb::ml {
+
+namespace {
+constexpr double kVarSmoothing = 1e-9;
+
+double log_gaussian(double x, double mean, double var) {
+  const double d = x - mean;
+  return -0.5 * (std::log(2.0 * 3.141592653589793 * var) + d * d / var);
+}
+}  // namespace
+
+void GaussianNB::fit(const Dataset& data, std::uint64_t /*seed*/) {
+  fitted_ = false;
+  if (data.empty()) return;
+  const std::size_t dims = data.dims();
+
+  auto compute = [&](int wanted, ClassStats& stats) {
+    stats.mean.assign(dims, 0.0);
+    stats.var.assign(dims, 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if ((data.label(i) != 0 ? 1 : 0) != wanted) continue;
+      ++count;
+      const auto x = data.row(i);
+      for (std::size_t j = 0; j < dims; ++j) stats.mean[j] += x[j];
+    }
+    if (count == 0) {
+      stats.prior = 1e-9;
+      stats.var.assign(dims, 1.0);
+      return;
+    }
+    for (double& m : stats.mean) m /= static_cast<double>(count);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if ((data.label(i) != 0 ? 1 : 0) != wanted) continue;
+      const auto x = data.row(i);
+      for (std::size_t j = 0; j < dims; ++j) {
+        const double d = x[j] - stats.mean[j];
+        stats.var[j] += d * d;
+      }
+    }
+    double max_var = 0.0;
+    for (std::size_t j = 0; j < dims; ++j) {
+      stats.var[j] /= static_cast<double>(count);
+      max_var = std::max(max_var, stats.var[j]);
+    }
+    const double smoothing = std::max(kVarSmoothing, kVarSmoothing * max_var);
+    for (double& v : stats.var) v = std::max(v + smoothing, smoothing);
+    stats.prior = static_cast<double>(count) / static_cast<double>(data.size());
+  };
+  compute(1, pos_);
+  compute(0, neg_);
+  fitted_ = true;
+}
+
+double GaussianNB::predict_score(std::span<const double> x) const {
+  if (!fitted_) return 0.5;
+  double log_pos = std::log(std::max(pos_.prior, 1e-12));
+  double log_neg = std::log(std::max(neg_.prior, 1e-12));
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    log_pos += log_gaussian(x[j], pos_.mean[j], pos_.var[j]);
+    log_neg += log_gaussian(x[j], neg_.mean[j], neg_.var[j]);
+  }
+  // Normalize in log space to avoid overflow.
+  const double m = std::max(log_pos, log_neg);
+  const double p = std::exp(log_pos - m);
+  const double q = std::exp(log_neg - m);
+  return p / (p + q);
+}
+
+void DiscretizedBayes::fit(const Dataset& data, std::uint64_t /*seed*/) {
+  fitted_ = false;
+  if (data.empty()) return;
+  const std::size_t dims = data.dims();
+  cutpoints_.assign(dims, {});
+  log_pos_.assign(dims, std::vector<double>(bins_, 0.0));
+  log_neg_.assign(dims, std::vector<double>(bins_, 0.0));
+
+  const std::size_t n_pos = data.positives();
+  const std::size_t n_neg = data.size() - n_pos;
+  log_prior_pos_ = std::log(
+      (static_cast<double>(n_pos) + 1.0) / (static_cast<double>(data.size()) + 2.0));
+  log_prior_neg_ = std::log(
+      (static_cast<double>(n_neg) + 1.0) / (static_cast<double>(data.size()) + 2.0));
+
+  std::vector<double> column(data.size());
+  for (std::size_t f = 0; f < dims; ++f) {
+    for (std::size_t i = 0; i < data.size(); ++i) column[i] = data.row(i)[f];
+    std::sort(column.begin(), column.end());
+    // Equal-frequency cutpoints; duplicates collapse bins naturally.
+    cutpoints_[f].reserve(bins_ - 1);
+    for (std::size_t b = 1; b < bins_; ++b) {
+      const std::size_t idx = (b * data.size()) / bins_;
+      cutpoints_[f].push_back(column[std::min(idx, data.size() - 1)]);
+    }
+
+    std::vector<double> pos_counts(bins_, 1.0);  // Laplace smoothing
+    std::vector<double> neg_counts(bins_, 1.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::size_t b = bin_of(f, data.row(i)[f]);
+      (data.label(i) != 0 ? pos_counts : neg_counts)[b] += 1.0;
+    }
+    const double pos_total = static_cast<double>(n_pos) + static_cast<double>(bins_);
+    const double neg_total = static_cast<double>(n_neg) + static_cast<double>(bins_);
+    for (std::size_t b = 0; b < bins_; ++b) {
+      log_pos_[f][b] = std::log(pos_counts[b] / pos_total);
+      log_neg_[f][b] = std::log(neg_counts[b] / neg_total);
+    }
+  }
+  fitted_ = true;
+}
+
+std::size_t DiscretizedBayes::bin_of(std::size_t feature, double value) const {
+  const std::vector<double>& cuts = cutpoints_[feature];
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), value);
+  return static_cast<std::size_t>(it - cuts.begin());
+}
+
+double DiscretizedBayes::predict_score(std::span<const double> x) const {
+  if (!fitted_) return 0.5;
+  double log_pos = log_prior_pos_;
+  double log_neg = log_prior_neg_;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    const std::size_t b = bin_of(f, x[f]);
+    log_pos += log_pos_[f][b];
+    log_neg += log_neg_[f][b];
+  }
+  const double m = std::max(log_pos, log_neg);
+  const double p = std::exp(log_pos - m);
+  const double q = std::exp(log_neg - m);
+  return p / (p + q);
+}
+
+}  // namespace patchdb::ml

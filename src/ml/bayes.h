@@ -1,0 +1,54 @@
+// Bayesian panel members: Gaussian naive Bayes and a discretized-feature
+// Bayes classifier. The latter stands in for Weka's BayesNet — with
+// supervised equal-frequency discretization and per-feature conditional
+// tables it captures the same "CPT over discretized evidence" behaviour
+// (DESIGN.md records the substitution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace patchdb::ml {
+
+class GaussianNB : public Classifier {
+ public:
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "NaiveBayes"; }
+
+ private:
+  struct ClassStats {
+    double prior = 0.5;
+    std::vector<double> mean;
+    std::vector<double> var;  // with variance smoothing applied
+  };
+  ClassStats pos_;
+  ClassStats neg_;
+  bool fitted_ = false;
+};
+
+class DiscretizedBayes : public Classifier {
+ public:
+  explicit DiscretizedBayes(std::size_t bins = 8) : bins_(bins) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "BayesNet"; }
+
+ private:
+  std::size_t bin_of(std::size_t feature, double value) const;
+
+  std::size_t bins_;
+  // cutpoints_[f] holds bins_-1 ascending thresholds for feature f.
+  std::vector<std::vector<double>> cutpoints_;
+  // log P(bin | class) per feature: [f][bin], plus log priors.
+  std::vector<std::vector<double>> log_pos_;
+  std::vector<std::vector<double>> log_neg_;
+  double log_prior_pos_ = 0.0;
+  double log_prior_neg_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace patchdb::ml

@@ -1,0 +1,45 @@
+// Common interface for the ten Weka-style classifiers the paper's
+// uncertainty-based labeling baseline requires (Section IV-B), plus the
+// Random Forest used for pseudo labeling and Table VI.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/data.h"
+
+namespace patchdb::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on a binary dataset. `seed` drives any internal randomness.
+  virtual void fit(const Dataset& data, std::uint64_t seed) = 0;
+
+  /// Probability-like score in [0, 1]; >= 0.5 means "security patch".
+  virtual double predict_score(std::span<const double> x) const = 0;
+
+  virtual std::string name() const = 0;
+
+  int predict(std::span<const double> x) const {
+    return predict_score(x) >= 0.5 ? 1 : 0;
+  }
+
+  std::vector<int> predict_all(const Dataset& data) const {
+    std::vector<int> out(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.row(i));
+    return out;
+  }
+};
+
+/// The ten-classifier panel used by the uncertainty-based baseline:
+/// Random Forest, linear SVM (Pegasos), logistic regression, SGD (hinge),
+/// SMO, Gaussian naive Bayes, discretized Bayes (Bayesian-network
+/// stand-in), decision tree (J48 stand-in), REPTree, voted perceptron.
+std::vector<std::unique_ptr<Classifier>> make_weka_panel();
+
+}  // namespace patchdb::ml

@@ -1,0 +1,68 @@
+#include "ml/crossval.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace patchdb::ml {
+
+namespace {
+double mean_of(const std::vector<Confusion>& folds, double (Confusion::*metric)() const) {
+  if (folds.empty()) return 0.0;
+  double total = 0.0;
+  for (const Confusion& c : folds) total += (c.*metric)();
+  return total / static_cast<double>(folds.size());
+}
+}  // namespace
+
+double CrossValResult::mean_precision() const noexcept {
+  return mean_of(folds, &Confusion::precision);
+}
+double CrossValResult::mean_recall() const noexcept {
+  return mean_of(folds, &Confusion::recall);
+}
+double CrossValResult::mean_f1() const noexcept {
+  return mean_of(folds, &Confusion::f1);
+}
+double CrossValResult::mean_accuracy() const noexcept {
+  return mean_of(folds, &Confusion::accuracy);
+}
+
+CrossValResult cross_validate(
+    const Dataset& data, std::size_t k,
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("cross_validate: k must be >= 2");
+  if (data.size() < k) throw std::invalid_argument("cross_validate: k > dataset");
+
+  // Stratified fold assignment: spread each class round-robin over folds
+  // after a class-wise shuffle.
+  util::Rng rng(seed);
+  std::vector<std::size_t> pos;
+  std::vector<std::size_t> neg;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) != 0 ? pos : neg).push_back(i);
+  }
+  rng.shuffle(pos);
+  rng.shuffle(neg);
+  std::vector<std::size_t> fold_of(data.size(), 0);
+  for (std::size_t i = 0; i < pos.size(); ++i) fold_of[pos[i]] = i % k;
+  for (std::size_t i = 0; i < neg.size(); ++i) fold_of[neg[i]] = i % k;
+
+  CrossValResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    std::vector<std::size_t> train_idx;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == fold ? test_idx : train_idx).push_back(i);
+    }
+    const Dataset train = data.select(train_idx);
+    const Dataset test = data.select(test_idx);
+    const std::unique_ptr<Classifier> clf = factory();
+    clf->fit(train, rng());
+    result.folds.push_back(confusion(test.labels(), clf->predict_all(test)));
+  }
+  return result;
+}
+
+}  // namespace patchdb::ml

@@ -1,0 +1,31 @@
+// k-fold cross validation over a binary Dataset — a standard evaluation
+// companion for the single 80/20 splits the paper reports, used by the
+// tests and available to downstream users for more stable numbers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+namespace patchdb::ml {
+
+struct CrossValResult {
+  std::vector<Confusion> folds;
+
+  double mean_precision() const noexcept;
+  double mean_recall() const noexcept;
+  double mean_f1() const noexcept;
+  double mean_accuracy() const noexcept;
+};
+
+/// Stratified k-fold: each fold preserves the class ratio. The factory
+/// builds a fresh classifier per fold.
+CrossValResult cross_validate(
+    const Dataset& data, std::size_t k,
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    std::uint64_t seed);
+
+}  // namespace patchdb::ml

@@ -1,0 +1,88 @@
+#include "ml/data.h"
+
+#include "util/rng.h"
+
+namespace patchdb::ml {
+
+Dataset::Dataset(std::vector<std::vector<double>> rows, std::vector<int> labels)
+    : rows_(std::move(rows)), labels_(std::move(labels)) {
+  if (rows_.size() != labels_.size()) {
+    throw std::invalid_argument("Dataset: rows/labels size mismatch");
+  }
+  for (const auto& r : rows_) {
+    if (r.size() != rows_[0].size()) {
+      throw std::invalid_argument("Dataset: ragged rows");
+    }
+  }
+}
+
+void Dataset::push_back(std::vector<double> row, int label) {
+  if (!rows_.empty() && row.size() != rows_[0].size()) {
+    throw std::invalid_argument("Dataset: row dimensionality mismatch");
+  }
+  rows_.push_back(std::move(row));
+  labels_.push_back(label);
+}
+
+void Dataset::append(const Dataset& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    push_back(other.rows_[i], other.labels_[i]);
+  }
+}
+
+std::size_t Dataset::positives() const noexcept {
+  std::size_t n = 0;
+  for (int y : labels_) n += (y != 0);
+  return n;
+}
+
+Dataset Dataset::select(std::span<const std::size_t> indices) const {
+  Dataset out;
+  for (std::size_t i : indices) out.push_back(rows_[i], labels_[i]);
+  return out;
+}
+
+TrainTestSplit split(const Dataset& data, double train_fraction, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(order.size()));
+  TrainTestSplit out;
+  out.train = data.select(std::span(order).subspan(0, n_train));
+  out.test = data.select(std::span(order).subspan(n_train));
+  return out;
+}
+
+TrainTestSplit stratified_split(const Dataset& data, double train_fraction,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> pos;
+  std::vector<std::size_t> neg;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) != 0 ? pos : neg).push_back(i);
+  }
+  rng.shuffle(pos);
+  rng.shuffle(neg);
+
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  auto take = [&](const std::vector<std::size_t>& group) {
+    const std::size_t n_train =
+        static_cast<std::size_t>(train_fraction * static_cast<double>(group.size()));
+    train_idx.insert(train_idx.end(), group.begin(), group.begin() + static_cast<std::ptrdiff_t>(n_train));
+    test_idx.insert(test_idx.end(), group.begin() + static_cast<std::ptrdiff_t>(n_train), group.end());
+  };
+  take(pos);
+  take(neg);
+  rng.shuffle(train_idx);
+  rng.shuffle(test_idx);
+
+  TrainTestSplit out;
+  out.train = data.select(train_idx);
+  out.test = data.select(test_idx);
+  return out;
+}
+
+}  // namespace patchdb::ml

@@ -1,0 +1,58 @@
+// Dataset container and splitting utilities for the classical ML side
+// of PatchDB (Tables III and VI use an 80/20 split; the uncertainty
+// baseline trains ten classifiers on the same training set).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace patchdb::ml {
+
+/// Binary-labeled feature rows. Label 1 = security patch, 0 = not.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::vector<double>> rows, std::vector<int> labels);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  std::size_t dims() const noexcept { return rows_.empty() ? 0 : rows_[0].size(); }
+  bool empty() const noexcept { return rows_.empty(); }
+
+  std::span<const double> row(std::size_t i) const noexcept { return rows_[i]; }
+  int label(std::size_t i) const noexcept { return labels_[i]; }
+
+  const std::vector<std::vector<double>>& rows() const noexcept { return rows_; }
+  const std::vector<int>& labels() const noexcept { return labels_; }
+
+  void push_back(std::vector<double> row, int label);
+
+  /// Append every row of `other` (same dimensionality).
+  void append(const Dataset& other);
+
+  std::size_t positives() const noexcept;
+  std::size_t negatives() const noexcept { return size() - positives(); }
+
+  /// Subset by row indices.
+  Dataset select(std::span<const std::size_t> indices) const;
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split with `train_fraction` of rows in train.
+TrainTestSplit split(const Dataset& data, double train_fraction, std::uint64_t seed);
+
+/// Random split preserving the positive/negative ratio on both sides.
+TrainTestSplit stratified_split(const Dataset& data, double train_fraction,
+                                std::uint64_t seed);
+
+}  // namespace patchdb::ml

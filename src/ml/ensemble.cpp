@@ -1,0 +1,41 @@
+#include "ml/ensemble.h"
+
+#include "ml/bayes.h"
+#include "ml/forest.h"
+#include "ml/linear.h"
+#include "ml/smo.h"
+#include "ml/tree.h"
+#include "util/rng.h"
+
+namespace patchdb::ml {
+
+ConsensusEnsemble::ConsensusEnsemble(std::vector<std::unique_ptr<Classifier>> members)
+    : members_(std::move(members)) {}
+
+void ConsensusEnsemble::fit(const Dataset& data, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (auto& member : members_) member->fit(data, rng());
+}
+
+std::size_t ConsensusEnsemble::agreement(std::span<const double> x) const {
+  std::size_t votes = 0;
+  for (const auto& member : members_) votes += member->predict(x) != 0;
+  return votes;
+}
+
+std::vector<std::unique_ptr<Classifier>> make_weka_panel() {
+  std::vector<std::unique_ptr<Classifier>> panel;
+  panel.push_back(std::make_unique<RandomForest>());
+  panel.push_back(std::make_unique<LinearSVM>());
+  panel.push_back(std::make_unique<LogisticRegression>());
+  panel.push_back(std::make_unique<SGDClassifier>());
+  panel.push_back(std::make_unique<SmoSVM>());
+  panel.push_back(std::make_unique<GaussianNB>());
+  panel.push_back(std::make_unique<DiscretizedBayes>());
+  panel.push_back(std::make_unique<DecisionTree>());
+  panel.push_back(std::make_unique<REPTree>());
+  panel.push_back(std::make_unique<VotedPerceptron>());
+  return panel;
+}
+
+}  // namespace patchdb::ml

@@ -1,0 +1,37 @@
+// Consensus ensemble: the uncertainty-based labeling baseline regards an
+// unlabeled commit as a candidate only when ALL panel classifiers
+// predict it positive (Section IV-B). The ensemble also exposes the
+// agreement count so callers can relax the threshold for ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace patchdb::ml {
+
+class ConsensusEnsemble {
+ public:
+  explicit ConsensusEnsemble(std::vector<std::unique_ptr<Classifier>> members);
+
+  /// Fit every member (seeds are derived per member).
+  void fit(const Dataset& data, std::uint64_t seed);
+
+  /// Number of members voting "security patch".
+  std::size_t agreement(std::span<const double> x) const;
+
+  /// All members agree.
+  bool unanimous(std::span<const double> x) const {
+    return agreement(x) == members_.size();
+  }
+
+  std::size_t size() const noexcept { return members_.size(); }
+  const Classifier& member(std::size_t i) const { return *members_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Classifier>> members_;
+};
+
+}  // namespace patchdb::ml

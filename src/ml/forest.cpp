@@ -1,0 +1,48 @@
+#include "ml/forest.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::ml {
+
+void RandomForest::fit(const Dataset& data, std::uint64_t seed) {
+  trees_.clear();
+  if (data.empty()) return;
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.features_per_split == 0) {
+    tree_options.features_per_split = static_cast<std::size_t>(
+        std::max(1.0, std::floor(std::sqrt(static_cast<double>(data.dims())))));
+  }
+  trees_.assign(options_.trees, DecisionTree(tree_options));
+
+  // Pre-draw per-tree seeds so parallel training is deterministic.
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> seeds(options_.trees);
+  for (auto& s : seeds) s = rng();
+
+  const std::size_t n = data.size();
+  const auto sample_size = static_cast<std::size_t>(
+      options_.bootstrap_fraction * static_cast<double>(n));
+
+  util::default_pool().parallel_for(
+      options_.trees, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) {
+          util::Rng tree_rng(seeds[t]);
+          std::vector<std::size_t> bootstrap(sample_size);
+          for (auto& idx : bootstrap) idx = tree_rng.index(n);
+          trees_[t].fit_indices(data, bootstrap, tree_rng());
+        }
+      });
+}
+
+double RandomForest::predict_score(std::span<const double> x) const {
+  if (trees_.empty()) return 0.5;
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) total += tree.predict_score(x);
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace patchdb::ml

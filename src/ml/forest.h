@@ -1,0 +1,35 @@
+// Random Forest: bagged CART trees with per-split feature subsampling.
+// The paper uses it for pseudo labeling ("the Random Forest classifier
+// that performs the best", Section IV-B) and as the statistical-feature
+// classifier of Table VI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace patchdb::ml {
+
+struct ForestOptions {
+  std::size_t trees = 64;
+  TreeOptions tree;           // tree.features_per_split 0 = auto sqrt(dims)
+  double bootstrap_fraction = 1.0;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(ForestOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "RandomForest"; }
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace patchdb::ml

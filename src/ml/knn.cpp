@@ -1,0 +1,41 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace patchdb::ml {
+
+void KnnClassifier::fit(const Dataset& data, std::uint64_t /*seed*/) {
+  train_ = data;
+}
+
+std::vector<std::size_t> KnnClassifier::neighbors(std::span<const double> x,
+                                                  std::size_t k) const {
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    const auto row = train_.row(i);
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = row[j] - x[j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, i);
+  }
+  k = std::min(k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  std::vector<std::size_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+double KnnClassifier::predict_score(std::span<const double> x) const {
+  if (train_.empty()) return 0.5;
+  const auto near = neighbors(x, k_);
+  double pos = 0.0;
+  for (std::size_t i : near) pos += train_.label(i) != 0;
+  return pos / static_cast<double>(near.size());
+}
+
+}  // namespace patchdb::ml

@@ -1,0 +1,30 @@
+// k-nearest-neighbors classifier. Not a panel member — it exists so the
+// nearest-link tests can contrast the paper's claim (Section III-B.3)
+// that nearest link differs from KNN: KNN may select the same candidate
+// for many queries even at K=1, nearest link never reuses a candidate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace patchdb::ml {
+
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "KNN"; }
+
+  /// Indices of the k nearest stored rows to `x` (ascending distance).
+  std::vector<std::size_t> neighbors(std::span<const double> x, std::size_t k) const;
+
+ private:
+  std::size_t k_;
+  Dataset train_;
+};
+
+}  // namespace patchdb::ml

@@ -1,0 +1,158 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace patchdb::ml {
+
+namespace {
+
+double dot(std::span<const double> w, std::span<const double> x) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < w.size(); ++j) total += w[j] * x[j];
+  return total;
+}
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+std::vector<std::size_t> shuffled_order(std::size_t n, util::Rng& rng) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  return order;
+}
+
+}  // namespace
+
+void LogisticRegression::fit(const Dataset& data, std::uint64_t seed) {
+  weights_.assign(data.dims(), 0.0);
+  bias_ = 0.0;
+  if (data.empty()) return;
+  util::Rng rng(seed);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double lr =
+        options_.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (std::size_t i : shuffled_order(data.size(), rng)) {
+      const auto x = data.row(i);
+      const double y = data.label(i) != 0 ? 1.0 : 0.0;
+      const double p = sigmoid(dot(weights_, x) + bias_);
+      const double g = p - y;
+      for (std::size_t j = 0; j < weights_.size(); ++j) {
+        weights_[j] -= lr * (g * x[j] + options_.l2 * weights_[j]);
+      }
+      bias_ -= lr * g;
+    }
+  }
+}
+
+double LogisticRegression::predict_score(std::span<const double> x) const {
+  if (weights_.empty()) return 0.5;
+  return sigmoid(dot(weights_, x) + bias_);
+}
+
+void LinearSVM::fit(const Dataset& data, std::uint64_t seed) {
+  weights_.assign(data.dims(), 0.0);
+  bias_ = 0.0;
+  if (data.empty()) return;
+  util::Rng rng(seed);
+  const double lambda = options_.l2;
+
+  std::size_t t = 1;
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::size_t i : shuffled_order(data.size(), rng)) {
+      const auto x = data.row(i);
+      const double y = data.label(i) != 0 ? 1.0 : -1.0;
+      const double eta = 1.0 / (lambda * static_cast<double>(t));
+      const double margin = y * (dot(weights_, x) + bias_);
+      for (double& w : weights_) w *= (1.0 - eta * lambda);
+      if (margin < 1.0) {
+        for (std::size_t j = 0; j < weights_.size(); ++j) {
+          weights_[j] += eta * y * x[j];
+        }
+        bias_ += eta * y;
+      }
+      ++t;
+    }
+  }
+}
+
+double LinearSVM::margin(std::span<const double> x) const {
+  return dot(weights_, x) + bias_;
+}
+
+double LinearSVM::predict_score(std::span<const double> x) const {
+  if (weights_.empty()) return 0.5;
+  return sigmoid(2.0 * margin(x));  // squash the margin into [0, 1]
+}
+
+void SGDClassifier::fit(const Dataset& data, std::uint64_t seed) {
+  weights_.assign(data.dims(), 0.0);
+  bias_ = 0.0;
+  if (data.empty()) return;
+  util::Rng rng(seed);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::size_t i : shuffled_order(data.size(), rng)) {
+      const auto x = data.row(i);
+      const double y = data.label(i) != 0 ? 1.0 : -1.0;
+      const double margin = y * (dot(weights_, x) + bias_);
+      if (margin < 1.0) {
+        for (std::size_t j = 0; j < weights_.size(); ++j) {
+          weights_[j] += options_.learning_rate * y * x[j];
+        }
+        bias_ += options_.learning_rate * y;
+      }
+    }
+  }
+}
+
+double SGDClassifier::predict_score(std::span<const double> x) const {
+  if (weights_.empty()) return 0.5;
+  return sigmoid(2.0 * (dot(weights_, x) + bias_));
+}
+
+void VotedPerceptron::fit(const Dataset& data, std::uint64_t seed) {
+  snapshots_.clear();
+  if (data.empty()) return;
+  util::Rng rng(seed);
+
+  Snapshot current;
+  current.weights.assign(data.dims(), 0.0);
+  current.votes = 1.0;
+
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    for (std::size_t i : shuffled_order(data.size(), rng)) {
+      const auto x = data.row(i);
+      const double y = data.label(i) != 0 ? 1.0 : -1.0;
+      const double pred = dot(current.weights, x) + current.bias;
+      if (y * pred <= 0.0) {
+        snapshots_.push_back(current);
+        for (std::size_t j = 0; j < current.weights.size(); ++j) {
+          current.weights[j] += y * x[j];
+        }
+        current.bias += y;
+        current.votes = 1.0;
+      } else {
+        current.votes += 1.0;
+      }
+    }
+  }
+  snapshots_.push_back(current);
+}
+
+double VotedPerceptron::predict_score(std::span<const double> x) const {
+  if (snapshots_.empty()) return 0.5;
+  double vote = 0.0;
+  double total = 0.0;
+  for (const Snapshot& s : snapshots_) {
+    const double sign = (dot(s.weights, x) + s.bias) >= 0.0 ? 1.0 : -1.0;
+    vote += s.votes * sign;
+    total += s.votes;
+  }
+  // Map the signed vote fraction [-1, 1] onto [0, 1].
+  return 0.5 * (vote / total + 1.0);
+}
+
+}  // namespace patchdb::ml

@@ -1,0 +1,94 @@
+// Linear models for the uncertainty panel: logistic regression (SGD),
+// linear SVM trained with Pegasos, a plain SGD hinge classifier, and the
+// voted perceptron. All expect roughly scaled inputs (the pipeline feeds
+// them max-abs normalized features).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace patchdb::ml {
+
+struct LinearOptions {
+  std::size_t epochs = 30;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+};
+
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LinearOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "LogisticRegression"; }
+
+  std::span<const double> weights() const noexcept { return weights_; }
+  double bias() const noexcept { return bias_; }
+
+ private:
+  LinearOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Linear SVM via the Pegasos primal sub-gradient solver.
+class LinearSVM : public Classifier {
+ public:
+  explicit LinearSVM(LinearOptions options = {.epochs = 30, .learning_rate = 0.0, .l2 = 1e-3})
+      : options_(options) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "LinearSVM"; }
+
+  double margin(std::span<const double> x) const;
+
+ private:
+  LinearOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Plain SGD classifier with hinge loss and a fixed step schedule —
+/// Weka's "SGD" panel member (distinct hyper-parameters from LinearSVM
+/// give the ensemble a genuinely different decision boundary).
+class SGDClassifier : public Classifier {
+ public:
+  explicit SGDClassifier(LinearOptions options = {.epochs = 20, .learning_rate = 0.05, .l2 = 0.0})
+      : options_(options) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "SGD"; }
+
+ private:
+  LinearOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Freund & Schapire's voted perceptron: keeps every intermediate
+/// weight vector with its survival count and predicts by weighted vote.
+class VotedPerceptron : public Classifier {
+ public:
+  explicit VotedPerceptron(std::size_t epochs = 10) : epochs_(epochs) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "VotedPerceptron"; }
+
+ private:
+  struct Snapshot {
+    std::vector<double> weights;
+    double bias = 0.0;
+    double votes = 0.0;
+  };
+
+  std::size_t epochs_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace patchdb::ml

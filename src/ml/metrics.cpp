@@ -1,0 +1,45 @@
+#include "ml/metrics.h"
+
+#include <stdexcept>
+
+namespace patchdb::ml {
+
+double Confusion::precision() const noexcept {
+  const std::size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::recall() const noexcept {
+  const std::size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::accuracy() const noexcept {
+  const std::size_t total = tp + fp + tn + fn;
+  return total == 0 ? 0.0
+                    : static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+Confusion confusion(std::span<const int> truth, std::span<const int> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("confusion: size mismatch");
+  }
+  Confusion c;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth[i] != 0;
+    const bool p = predicted[i] != 0;
+    if (t && p) ++c.tp;
+    else if (!t && p) ++c.fp;
+    else if (!t && !p) ++c.tn;
+    else ++c.fn;
+  }
+  return c;
+}
+
+}  // namespace patchdb::ml

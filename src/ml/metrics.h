@@ -1,0 +1,25 @@
+// Binary-classification metrics. The paper reports precision and recall
+// (Tables IV and VI); F1 and accuracy are provided for completeness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace patchdb::ml {
+
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  double precision() const noexcept;
+  double recall() const noexcept;
+  double f1() const noexcept;
+  double accuracy() const noexcept;
+};
+
+/// Tally predictions against ground truth (any nonzero label = positive).
+Confusion confusion(std::span<const int> truth, std::span<const int> predicted);
+
+}  // namespace patchdb::ml

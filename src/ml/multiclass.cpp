@@ -1,0 +1,91 @@
+#include "ml/multiclass.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::ml {
+
+void OneVsRest::fit(const MultiDataset& data, std::uint64_t seed) {
+  if (data.classes <= 0) throw std::invalid_argument("OneVsRest: classes <= 0");
+  if (data.rows.size() != data.labels.size()) {
+    throw std::invalid_argument("OneVsRest: rows/labels mismatch");
+  }
+  for (int label : data.labels) {
+    if (label < 0 || label >= data.classes) {
+      throw std::invalid_argument("OneVsRest: label out of range");
+    }
+  }
+
+  members_.clear();
+  members_.resize(static_cast<std::size_t>(data.classes));
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> seeds(members_.size());
+  for (auto& s : seeds) s = rng();
+
+  util::default_pool().parallel_for(
+      members_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          Dataset binary;
+          for (std::size_t i = 0; i < data.rows.size(); ++i) {
+            binary.push_back(data.rows[i],
+                             data.labels[i] == static_cast<int>(c) ? 1 : 0);
+          }
+          members_[c] = factory_();
+          members_[c]->fit(binary, seeds[c]);
+        }
+      });
+}
+
+std::vector<double> OneVsRest::predict_scores(std::span<const double> x) const {
+  std::vector<double> scores(members_.size(), 0.0);
+  for (std::size_t c = 0; c < members_.size(); ++c) {
+    scores[c] = members_[c]->predict_score(x);
+  }
+  return scores;
+}
+
+int OneVsRest::predict(std::span<const double> x) const {
+  if (members_.empty()) return 0;
+  const std::vector<double> scores = predict_scores(x);
+  int best = 0;
+  for (std::size_t c = 1; c < scores.size(); ++c) {
+    if (scores[c] > scores[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+MultiMetrics multi_metrics(std::span<const int> truth, std::span<const int> predicted,
+                           int classes) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("multi_metrics: size mismatch");
+  }
+  MultiMetrics m;
+  m.per_class_recall.assign(static_cast<std::size_t>(classes), 0.0);
+  m.support.assign(static_cast<std::size_t>(classes), 0);
+  std::vector<std::size_t> hits(static_cast<std::size_t>(classes), 0);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto t = static_cast<std::size_t>(truth[i]);
+    ++m.support[t];
+    if (truth[i] == predicted[i]) {
+      ++correct;
+      ++hits[t];
+    }
+  }
+  if (!truth.empty()) {
+    m.accuracy = static_cast<double>(correct) / static_cast<double>(truth.size());
+  }
+  for (std::size_t c = 0; c < m.support.size(); ++c) {
+    if (m.support[c] > 0) {
+      m.per_class_recall[c] =
+          static_cast<double>(hits[c]) / static_cast<double>(m.support[c]);
+    }
+  }
+  return m;
+}
+
+}  // namespace patchdb::ml

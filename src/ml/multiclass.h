@@ -1,0 +1,57 @@
+// One-vs-rest multi-class wrapper over the binary classifiers — the
+// engine behind automatic patch-TYPE classification (the paper's
+// companion task [33] and its Section V-A.2 use case: with a large
+// dataset, fix patterns can be learned per category instead of
+// hand-summarized).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace patchdb::ml {
+
+/// Multi-class dataset: rows + integer class labels in [0, classes).
+struct MultiDataset {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  int classes = 0;
+
+  std::size_t size() const noexcept { return rows.size(); }
+};
+
+class OneVsRest {
+ public:
+  /// `factory` builds one binary classifier per class.
+  explicit OneVsRest(std::function<std::unique_ptr<Classifier>()> factory)
+      : factory_(std::move(factory)) {}
+
+  void fit(const MultiDataset& data, std::uint64_t seed);
+
+  /// argmax over the per-class scores.
+  int predict(std::span<const double> x) const;
+
+  /// Per-class scores (length = classes).
+  std::vector<double> predict_scores(std::span<const double> x) const;
+
+  int classes() const noexcept { return static_cast<int>(members_.size()); }
+
+ private:
+  std::function<std::unique_ptr<Classifier>()> factory_;
+  std::vector<std::unique_ptr<Classifier>> members_;
+};
+
+/// Multi-class accuracy and per-class recall.
+struct MultiMetrics {
+  double accuracy = 0.0;
+  std::vector<double> per_class_recall;
+  std::vector<std::size_t> support;  // true count per class
+};
+
+MultiMetrics multi_metrics(std::span<const int> truth, std::span<const int> predicted,
+                           int classes);
+
+}  // namespace patchdb::ml

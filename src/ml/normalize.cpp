@@ -1,0 +1,91 @@
+#include "ml/normalize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace patchdb::ml {
+
+void MaxAbsScaler::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("MaxAbsScaler: empty fit set");
+  const std::size_t dims = rows[0].size();
+  std::vector<double> max_abs(dims, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < dims; ++j) {
+      max_abs[j] = std::max(max_abs[j], std::fabs(row[j]));
+    }
+  }
+  inv_max_.assign(dims, 1.0);
+  for (std::size_t j = 0; j < dims; ++j) {
+    if (max_abs[j] > 0.0) inv_max_[j] = 1.0 / max_abs[j];
+  }
+}
+
+std::vector<double> MaxAbsScaler::transform(std::span<const double> row) const {
+  if (row.size() != inv_max_.size()) {
+    throw std::invalid_argument("MaxAbsScaler: dimensionality mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) out[j] = row[j] * inv_max_[j];
+  return out;
+}
+
+void MaxAbsScaler::transform_in_place(std::vector<std::vector<double>>& rows) const {
+  for (auto& row : rows) {
+    if (row.size() != inv_max_.size()) {
+      throw std::invalid_argument("MaxAbsScaler: dimensionality mismatch");
+    }
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] *= inv_max_[j];
+  }
+}
+
+Dataset MaxAbsScaler::transform(const Dataset& data) const {
+  Dataset out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(transform(data.row(i)), data.label(i));
+  }
+  return out;
+}
+
+void ZScoreScaler::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("ZScoreScaler: empty fit set");
+  const std::size_t dims = rows[0].size();
+  const double n = static_cast<double>(rows.size());
+  mean_.assign(dims, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < dims; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= n;
+  std::vector<double> var(dims, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < dims; ++j) {
+      const double d = row[j] - mean_[j];
+      var[j] += d * d;
+    }
+  }
+  inv_std_.assign(dims, 1.0);
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double sd = std::sqrt(var[j] / n);
+    if (sd > 0.0) inv_std_[j] = 1.0 / sd;
+  }
+}
+
+std::vector<double> ZScoreScaler::transform(std::span<const double> row) const {
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("ZScoreScaler: dimensionality mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+Dataset ZScoreScaler::transform(const Dataset& data) const {
+  Dataset out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(transform(data.row(i)), data.label(i));
+  }
+  return out;
+}
+
+}  // namespace patchdb::ml

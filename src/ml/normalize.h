@@ -1,0 +1,43 @@
+// Feature scaling. MaxAbsScaler implements the paper's weighting
+// a'_ij = a_ij / max|a_j| (Section III-B.2): each dimension lands in
+// [-1, 1] and the *sign* of net-value features survives, which z-scoring
+// would not guarantee.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/data.h"
+
+namespace patchdb::ml {
+
+class MaxAbsScaler {
+ public:
+  /// Learn per-dimension max|a_j| from rows. Dimensions that are
+  /// identically zero get weight 1 (no-op) to avoid division by zero.
+  void fit(const std::vector<std::vector<double>>& rows);
+  void fit(const Dataset& data) { fit(data.rows()); }
+
+  std::vector<double> transform(std::span<const double> row) const;
+  void transform_in_place(std::vector<std::vector<double>>& rows) const;
+  Dataset transform(const Dataset& data) const;
+
+  std::span<const double> weights() const noexcept { return inv_max_; }
+  bool fitted() const noexcept { return !inv_max_.empty(); }
+
+ private:
+  std::vector<double> inv_max_;  // 1 / max|a_j|
+};
+
+class ZScoreScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+  std::vector<double> transform(std::span<const double> row) const;
+  Dataset transform(const Dataset& data) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace patchdb::ml

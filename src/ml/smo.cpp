@@ -1,0 +1,106 @@
+#include "ml/smo.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace patchdb::ml {
+
+namespace {
+double dot(std::span<const double> a, std::span<const double> b) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) total += a[j] * b[j];
+  return total;
+}
+}  // namespace
+
+void SmoSVM::fit(const Dataset& data, std::uint64_t seed) {
+  weights_.assign(data.dims(), 0.0);
+  bias_ = 0.0;
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  util::Rng rng(seed);
+
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = data.label(i) != 0 ? 1.0 : -1.0;
+
+  // Cache the diagonal of the kernel matrix; off-diagonal entries are
+  // computed on demand (linear kernel keeps this cheap).
+  auto kernel = [&](std::size_t i, std::size_t j) {
+    return dot(data.row(i), data.row(j));
+  };
+  auto f_of = [&](std::size_t i) {
+    // f(x_i) with the current weight vector (maintained incrementally).
+    return dot(weights_, data.row(i)) + bias_;
+  };
+
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+  while (passes < options_.max_passes && iterations < options_.max_iterations) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n && iterations < options_.max_iterations; ++i) {
+      ++iterations;
+      const double e_i = f_of(i) - y[i];
+      const bool violates = (y[i] * e_i < -options_.tolerance && alpha[i] < options_.c) ||
+                            (y[i] * e_i > options_.tolerance && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = rng.index(n - 1);
+      if (j >= i) ++j;  // j != i
+      const double e_j = f_of(j) - y[j];
+
+      const double alpha_i_old = alpha[i];
+      const double alpha_j_old = alpha[j];
+      double lo;
+      double hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, alpha[j] - alpha[i]);
+        hi = std::min(options_.c, options_.c + alpha[j] - alpha[i]);
+      } else {
+        lo = std::max(0.0, alpha[i] + alpha[j] - options_.c);
+        hi = std::min(options_.c, alpha[i] + alpha[j]);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * kernel(i, j) - kernel(i, i) - kernel(j, j);
+      if (eta >= 0.0) continue;
+
+      double aj = alpha[j] - y[j] * (e_i - e_j) / eta;
+      aj = std::min(hi, std::max(lo, aj));
+      if (std::fabs(aj - alpha_j_old) < 1e-5) continue;
+      const double ai = alpha[i] + y[i] * y[j] * (alpha_j_old - aj);
+
+      // Incremental weight update keeps f_of() O(dims).
+      const double di = y[i] * (ai - alpha_i_old);
+      const double dj = y[j] * (aj - alpha_j_old);
+      const auto xi = data.row(i);
+      const auto xj = data.row(j);
+      for (std::size_t d = 0; d < weights_.size(); ++d) {
+        weights_[d] += di * xi[d] + dj * xj[d];
+      }
+
+      const double b1 = bias_ - e_i - di * kernel(i, i) - dj * kernel(i, j);
+      const double b2 = bias_ - e_j - di * kernel(i, j) - dj * kernel(j, j);
+      alpha[i] = ai;
+      alpha[j] = aj;
+      if (ai > 0.0 && ai < options_.c) {
+        bias_ = b1;
+      } else if (aj > 0.0 && aj < options_.c) {
+        bias_ = b2;
+      } else {
+        bias_ = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+}
+
+double SmoSVM::predict_score(std::span<const double> x) const {
+  if (weights_.empty()) return 0.5;
+  const double margin = dot(weights_, x) + bias_;
+  return 1.0 / (1.0 + std::exp(-2.0 * margin));
+}
+
+}  // namespace patchdb::ml

@@ -1,0 +1,36 @@
+// Simplified SMO (Platt's sequential minimal optimization) with a linear
+// kernel — the panel's "SMO" member. Distinct from the Pegasos SVM: SMO
+// solves the dual with pairwise alpha updates, giving a different (and
+// differently-regularized) boundary, which is what the consensus
+// ensemble needs from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace patchdb::ml {
+
+struct SmoOptions {
+  double c = 1.0;          // box constraint
+  double tolerance = 1e-3;
+  std::size_t max_passes = 5;
+  std::size_t max_iterations = 20000;
+};
+
+class SmoSVM : public Classifier {
+ public:
+  explicit SmoSVM(SmoOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "SMO"; }
+
+ private:
+  SmoOptions options_;
+  std::vector<double> weights_;  // linear kernel collapses to a weight vector
+  double bias_ = 0.0;
+};
+
+}  // namespace patchdb::ml

@@ -1,0 +1,63 @@
+#include "ml/smote.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace patchdb::ml {
+
+Dataset smote(const Dataset& data, const SmoteOptions& options, std::uint64_t seed) {
+  Dataset out = data;
+  const std::size_t pos = data.positives();
+  const std::size_t neg = data.size() - pos;
+  if (pos == 0 || neg == 0 || data.size() < 2) return out;
+  const int minority = pos <= neg ? 1 : 0;
+
+  std::vector<std::size_t> minority_rows;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if ((data.label(i) != 0 ? 1 : 0) == minority) minority_rows.push_back(i);
+  }
+  if (minority_rows.size() < 2) return out;
+
+  util::Rng rng(seed);
+  const std::size_t per_row = static_cast<std::size_t>(std::ceil(options.multiplier));
+  const double keep_prob = options.multiplier / static_cast<double>(per_row);
+
+  // Precompute k nearest minority neighbors of each minority row.
+  const std::size_t k = std::min(options.k, minority_rows.size() - 1);
+  for (std::size_t idx = 0; idx < minority_rows.size(); ++idx) {
+    const std::size_t i = minority_rows[idx];
+    const auto xi = data.row(i);
+    std::vector<std::pair<double, std::size_t>> dist;
+    dist.reserve(minority_rows.size() - 1);
+    for (std::size_t other : minority_rows) {
+      if (other == i) continue;
+      const auto xo = data.row(other);
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < xi.size(); ++j) {
+        const double d = xi[j] - xo[j];
+        d2 += d * d;
+      }
+      dist.emplace_back(d2, other);
+    }
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                      dist.end());
+
+    for (std::size_t rep = 0; rep < per_row; ++rep) {
+      if (!rng.chance(keep_prob)) continue;
+      const std::size_t neighbor = dist[rng.index(k)].second;
+      const auto xn = data.row(neighbor);
+      const double gap = rng.uniform();
+      std::vector<double> synthetic(xi.size());
+      for (std::size_t j = 0; j < xi.size(); ++j) {
+        synthetic[j] = xi[j] + gap * (xn[j] - xi[j]);
+      }
+      out.push_back(std::move(synthetic), minority);
+    }
+  }
+  return out;
+}
+
+}  // namespace patchdb::ml

@@ -1,0 +1,24 @@
+// SMOTE (Chawla et al. 2002): feature-space minority oversampling. The
+// paper tries it as the traditional alternative to source-level patch
+// synthesis ("we also try some traditional oversampling techniques like
+// SMOTE and do not observe obvious performance increase", Section IV-C);
+// the Table IV ablation bench runs both.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/data.h"
+
+namespace patchdb::ml {
+
+struct SmoteOptions {
+  std::size_t k = 5;          // neighbors considered per minority sample
+  double multiplier = 1.0;    // synthetic minority rows per existing one
+};
+
+/// Return `data` plus synthetic minority-class rows interpolated between
+/// each minority row and a random one of its k nearest minority
+/// neighbors. The minority class is whichever label is rarer.
+Dataset smote(const Dataset& data, const SmoteOptions& options, std::uint64_t seed);
+
+}  // namespace patchdb::ml

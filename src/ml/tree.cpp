@@ -1,0 +1,213 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace patchdb::ml {
+
+namespace {
+
+/// Gini impurity of a (pos, total) split side.
+double gini(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 1.0 - p * p - (1.0 - p) * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, std::uint64_t seed) {
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  fit_indices(data, all, seed);
+}
+
+void DecisionTree::fit_indices(const Dataset& data,
+                               std::span<const std::size_t> indices,
+                               std::uint64_t seed) {
+  nodes_.clear();
+  if (indices.empty()) {
+    nodes_.push_back(Node{});  // degenerate: single 0.5 leaf
+    return;
+  }
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  util::Rng rng(seed);
+  build(data, work, 0, work.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end,
+                                 std::size_t depth, util::Rng& rng) {
+  const std::size_t count = end - begin;
+  double pos = 0.0;
+  for (std::size_t i = begin; i < end; ++i) pos += data.label(indices[i]) != 0;
+
+  const std::int32_t node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].score = pos / static_cast<double>(count);
+
+  const bool pure = (pos == 0.0) || (pos == static_cast<double>(count));
+  if (pure || depth >= options_.max_depth || count < options_.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset (forest mode).
+  const std::size_t dims = data.dims();
+  std::vector<std::size_t> features;
+  if (options_.features_per_split == 0 || options_.features_per_split >= dims) {
+    features.resize(dims);
+    for (std::size_t j = 0; j < dims; ++j) features[j] = j;
+  } else {
+    features = rng.sample_indices(dims, options_.features_per_split);
+  }
+
+  // Exhaustive threshold search per candidate feature: sort the slice by
+  // the feature and scan boundary points.
+  double best_gain = 1e-12;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  const double parent_impurity = gini(pos, static_cast<double>(count));
+
+  std::vector<std::pair<double, int>> column(count);
+  for (std::size_t feature : features) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row = indices[begin + i];
+      column[i] = {data.row(row)[feature], data.label(row) != 0 ? 1 : 0};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;  // constant
+
+    double left_pos = 0.0;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      left_pos += column[i].second;
+      if (column[i].first == column[i + 1].first) continue;  // not a boundary
+      const double left_n = static_cast<double>(i + 1);
+      const double right_n = static_cast<double>(count - i - 1);
+      if (left_n < static_cast<double>(options_.min_samples_leaf) ||
+          right_n < static_cast<double>(options_.min_samples_leaf)) {
+        continue;
+      }
+      const double right_pos = pos - left_pos;
+      const double weighted =
+          (left_n * gini(left_pos, left_n) + right_n * gini(right_pos, right_n)) /
+          static_cast<double>(count);
+      const double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return node_id;  // no useful split found
+
+  // Partition indices[begin, end) in place around the threshold.
+  const auto mid_iter = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t row) {
+        return data.row(row)[best_feature] <= best_threshold;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_iter - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  nodes_[static_cast<std::size_t>(node_id)].feature =
+      static_cast<std::int32_t>(best_feature);
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  const std::int32_t right = build(data, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_score(std::span<const double> x) const {
+  if (nodes_.empty()) return 0.5;
+  std::size_t node = 0;
+  while (nodes_[node].feature != Node::kLeaf) {
+    const Node& n = nodes_[node];
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[node].score;
+}
+
+std::size_t DecisionTree::depth() const noexcept {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& n = nodes_[node];
+    if (n.feature != Node::kLeaf) {
+      stack.push_back({static_cast<std::size_t>(n.left), d + 1});
+      stack.push_back({static_cast<std::size_t>(n.right), d + 1});
+    }
+  }
+  return best;
+}
+
+void REPTree::fit(const Dataset& data, std::uint64_t seed) {
+  // 2/3 grow set, 1/3 prune set.
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t n_grow = (order.size() * 2) / 3;
+  const std::span grow(order.data(), n_grow);
+  const std::span prune(order.data() + n_grow, order.size() - n_grow);
+
+  fit_indices(data, grow, rng());
+  if (prune.empty() || nodes_.empty()) return;
+
+  // For every internal node, count pruning-set errors of the subtree vs
+  // errors if it were collapsed to a leaf with its stored score.
+  // Route each pruning row to record, per node on its path, whether the
+  // final subtree prediction and the node's leaf-collapse prediction
+  // are correct.
+  const std::size_t n = nodes_.size();
+  std::vector<double> subtree_errors(n, 0.0);
+  std::vector<double> leaf_errors(n, 0.0);
+
+  for (std::size_t row : prune) {
+    const auto x = data.row(row);
+    const int y = data.label(row) != 0 ? 1 : 0;
+    // Final prediction of the full tree for this row.
+    std::size_t node = 0;
+    std::vector<std::size_t> path;
+    while (true) {
+      path.push_back(node);
+      const Node& nd = nodes_[node];
+      if (nd.feature == Node::kLeaf) break;
+      node = static_cast<std::size_t>(
+          x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                  : nd.right);
+    }
+    const int final_pred = nodes_[path.back()].score >= 0.5 ? 1 : 0;
+    for (std::size_t p : path) {
+      subtree_errors[p] += (final_pred != y);
+      const int collapsed = nodes_[p].score >= 0.5 ? 1 : 0;
+      leaf_errors[p] += (collapsed != y);
+    }
+  }
+
+  // Prune bottom-up: nodes were appended in preorder, so a reverse scan
+  // visits children before parents.
+  for (std::size_t i = n; i-- > 0;) {
+    Node& nd = nodes_[i];
+    if (nd.feature == Node::kLeaf) continue;
+    if (leaf_errors[i] <= subtree_errors[i]) {
+      nd.feature = Node::kLeaf;
+      nd.left = -1;
+      nd.right = -1;
+    }
+  }
+}
+
+}  // namespace patchdb::ml

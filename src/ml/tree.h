@@ -1,0 +1,72 @@
+// CART decision tree (Gini impurity) — the stand-in for Weka's J48 —
+// and a reduced-error-pruning variant (REPTree), both members of the
+// ten-classifier uncertainty panel. The tree is also the base learner
+// for the Random Forest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace patchdb::ml {
+
+struct TreeOptions {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Number of features examined per split; 0 = all (single tree),
+  /// sqrt(dims) is set by the forest.
+  std::size_t features_per_split = 0;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  double predict_score(std::span<const double> x) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  /// Fit on a bootstrap expressed as row indices into `data` (used by
+  /// the forest so rows are not copied per tree).
+  void fit_indices(const Dataset& data, std::span<const std::size_t> indices,
+                   std::uint64_t seed);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept;
+
+ protected:
+  struct Node {
+    // Leaf when feature == kLeaf; then `score` holds P(positive).
+    static constexpr std::int32_t kLeaf = -1;
+    std::int32_t feature = kLeaf;
+    double threshold = 0.0;
+    double score = 0.5;
+    std::int32_t left = -1;   // x[feature] <= threshold
+    std::int32_t right = -1;  // x[feature] >  threshold
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                     std::size_t begin, std::size_t end, std::size_t depth,
+                     util::Rng& rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+/// Reduced Error Pruning tree: grows a full CART tree on 2/3 of the
+/// training data, then greedily replaces subtrees with leaves whenever
+/// that does not hurt accuracy on the held-out 1/3 pruning set.
+class REPTree : public DecisionTree {
+ public:
+  explicit REPTree(TreeOptions options = {}) : DecisionTree(options) {}
+
+  void fit(const Dataset& data, std::uint64_t seed) override;
+  std::string name() const override { return "REPTree"; }
+};
+
+}  // namespace patchdb::ml

@@ -1,0 +1,35 @@
+#include "nn/encode.h"
+
+#include "lang/lexer.h"
+
+namespace patchdb::nn {
+
+std::vector<std::string> patch_tokens(const diff::Patch& patch,
+                                      const EncodeOptions& options) {
+  std::vector<std::string> out;
+  for (const diff::FileDiff& fd : patch.files) {
+    for (const diff::Hunk& hunk : fd.hunks) {
+      out.emplace_back(kHunkMarker);
+      for (const diff::Line& line : hunk.lines) {
+        const char* marker = nullptr;
+        switch (line.kind) {
+          case diff::LineKind::kAdded: marker = kAddMarker; break;
+          case diff::LineKind::kRemoved: marker = kDelMarker; break;
+          case diff::LineKind::kContext:
+            if (!options.include_context) continue;
+            marker = kCtxMarker;
+            break;
+        }
+        out.emplace_back(marker);
+        for (std::string& token : lang::lex_texts(line.text)) {
+          out.push_back(std::move(token));
+          if (out.size() >= options.max_tokens) return out;
+        }
+      }
+      if (out.size() >= options.max_tokens) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace patchdb::nn

@@ -1,0 +1,28 @@
+// Patch -> token stream encoding for the RNN. Each removed line's tokens
+// are preceded by a <del> marker and each added line's by <add>, so the
+// model sees the diff structure the same way the paper's RNN sees
+// pre-patched and post-patched code side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diff/patch.h"
+
+namespace patchdb::nn {
+
+inline constexpr const char* kAddMarker = "<add>";
+inline constexpr const char* kDelMarker = "<del>";
+inline constexpr const char* kCtxMarker = "<ctx>";
+inline constexpr const char* kHunkMarker = "<hunk>";
+
+struct EncodeOptions {
+  bool include_context = false;  // context lines usually add noise
+  std::size_t max_tokens = 512;  // hard cap before truncation
+};
+
+/// Flatten a patch into the RNN's token list.
+std::vector<std::string> patch_tokens(const diff::Patch& patch,
+                                      const EncodeOptions& options = {});
+
+}  // namespace patchdb::nn

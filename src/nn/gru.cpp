@@ -1,0 +1,449 @@
+#include "nn/gru.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::nn {
+
+namespace {
+
+inline float sigmoidf(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+
+/// y = W x, W row-major [rows][cols].
+void matvec(const std::vector<float>& w, const float* x, std::size_t rows,
+            std::size_t cols, float* y) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* row = w.data() + i * cols;
+    float total = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) total += row[j] * x[j];
+    y[i] += total;
+  }
+}
+
+/// out += W^T v, W row-major [rows][cols], v length rows, out length cols.
+void matvec_t(const std::vector<float>& w, const float* v, std::size_t rows,
+              std::size_t cols, float* out) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* row = w.data() + i * cols;
+    const float vi = v[i];
+    for (std::size_t j = 0; j < cols; ++j) out[j] += vi * row[j];
+  }
+}
+
+/// W += v (x)^T outer product, W row-major [rows][cols].
+void outer_acc(std::vector<float>& w, const float* v, const float* x,
+               std::size_t rows, std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = w.data() + i * cols;
+    const float vi = v[i];
+    for (std::size_t j = 0; j < cols; ++j) row[j] += vi * x[j];
+  }
+}
+
+}  // namespace
+
+void GruClassifier::Params::resize(std::size_t vocab, std::size_t embed_dim,
+                                   std::size_t hidden) {
+  embed.assign(vocab * embed_dim, 0.0f);
+  wz.assign(hidden * embed_dim, 0.0f);
+  wr.assign(hidden * embed_dim, 0.0f);
+  wh.assign(hidden * embed_dim, 0.0f);
+  uz.assign(hidden * hidden, 0.0f);
+  ur.assign(hidden * hidden, 0.0f);
+  uh.assign(hidden * hidden, 0.0f);
+  bz.assign(hidden, 0.0f);
+  br.assign(hidden, 0.0f);
+  bh.assign(hidden, 0.0f);
+  out_w.assign(hidden, 0.0f);
+  out_b = 0.0f;
+}
+
+std::size_t GruClassifier::Params::total() const noexcept {
+  return embed.size() + wz.size() + wr.size() + wh.size() + uz.size() +
+         ur.size() + uh.size() + bz.size() + br.size() + bh.size() +
+         out_w.size() + 1;
+}
+
+struct GruClassifier::Trace {
+  std::vector<std::int32_t> ids;     // truncated sequence actually used
+  std::vector<float> z, r, hc, h;    // [T][hidden] each
+  std::vector<float> hbar;           // [hidden]
+};
+
+double GruClassifier::forward(std::span<const std::int32_t> sequence,
+                              Trace* trace) const {
+  const std::size_t hidden = options_.hidden_dim;
+  const std::size_t embed_dim = options_.embed_dim;
+  const std::size_t len = std::min(sequence.size(), options_.max_len);
+
+  std::vector<float> h(hidden, 0.0f);
+  std::vector<float> hbar(hidden, 0.0f);
+  std::vector<float> z(hidden), r(hidden), hc(hidden), rh(hidden);
+
+  if (trace != nullptr) {
+    trace->ids.assign(sequence.begin(),
+                      sequence.begin() + static_cast<std::ptrdiff_t>(len));
+    trace->z.resize(len * hidden);
+    trace->r.resize(len * hidden);
+    trace->hc.resize(len * hidden);
+    trace->h.resize(len * hidden);
+  }
+
+  for (std::size_t t = 0; t < len; ++t) {
+    const auto id = static_cast<std::size_t>(sequence[t]);
+    const float* x = params_.embed.data() + id * embed_dim;
+
+    std::copy(params_.bz.begin(), params_.bz.end(), z.begin());
+    std::copy(params_.br.begin(), params_.br.end(), r.begin());
+    matvec(params_.wz, x, hidden, embed_dim, z.data());
+    matvec(params_.uz, h.data(), hidden, hidden, z.data());
+    matvec(params_.wr, x, hidden, embed_dim, r.data());
+    matvec(params_.ur, h.data(), hidden, hidden, r.data());
+    for (std::size_t i = 0; i < hidden; ++i) {
+      z[i] = sigmoidf(z[i]);
+      r[i] = sigmoidf(r[i]);
+      rh[i] = r[i] * h[i];
+    }
+    std::copy(params_.bh.begin(), params_.bh.end(), hc.begin());
+    matvec(params_.wh, x, hidden, embed_dim, hc.data());
+    matvec(params_.uh, rh.data(), hidden, hidden, hc.data());
+    for (std::size_t i = 0; i < hidden; ++i) {
+      hc[i] = std::tanh(hc[i]);
+      h[i] = (1.0f - z[i]) * h[i] + z[i] * hc[i];
+      hbar[i] += h[i];
+    }
+    if (trace != nullptr) {
+      std::copy(z.begin(), z.end(), trace->z.begin() + static_cast<std::ptrdiff_t>(t * hidden));
+      std::copy(r.begin(), r.end(), trace->r.begin() + static_cast<std::ptrdiff_t>(t * hidden));
+      std::copy(hc.begin(), hc.end(), trace->hc.begin() + static_cast<std::ptrdiff_t>(t * hidden));
+      std::copy(h.begin(), h.end(), trace->h.begin() + static_cast<std::ptrdiff_t>(t * hidden));
+    }
+  }
+
+  if (len > 0) {
+    for (float& v : hbar) v /= static_cast<float>(len);
+  }
+  float logit = params_.out_b;
+  for (std::size_t i = 0; i < hidden; ++i) logit += params_.out_w[i] * hbar[i];
+  if (trace != nullptr) trace->hbar = hbar;
+  return static_cast<double>(sigmoidf(logit));
+}
+
+void GruClassifier::backward(std::span<const std::int32_t> /*sequence*/,
+                             const Trace& trace, float dlogit,
+                             Params& grads) const {
+  const std::size_t hidden = options_.hidden_dim;
+  const std::size_t embed_dim = options_.embed_dim;
+  const std::size_t len = trace.ids.size();
+  if (len == 0) {
+    grads.out_b += dlogit;
+    return;
+  }
+
+  // Output head.
+  for (std::size_t i = 0; i < hidden; ++i) {
+    grads.out_w[i] += dlogit * trace.hbar[i];
+  }
+  grads.out_b += dlogit;
+
+  std::vector<float> dh_next(hidden, 0.0f);
+  std::vector<float> dh(hidden), dz_pre(hidden), dr_pre(hidden), dpre_h(hidden);
+  std::vector<float> drh(hidden), dh_prev(hidden), dx(embed_dim), rh(hidden);
+  const float inv_len = 1.0f / static_cast<float>(len);
+
+  for (std::size_t t = len; t-- > 0;) {
+    const float* z = trace.z.data() + t * hidden;
+    const float* r = trace.r.data() + t * hidden;
+    const float* hc = trace.hc.data() + t * hidden;
+    const float* h_prev =
+        t == 0 ? nullptr : trace.h.data() + (t - 1) * hidden;
+
+    for (std::size_t i = 0; i < hidden; ++i) {
+      dh[i] = dlogit * params_.out_w[i] * inv_len + dh_next[i];
+    }
+
+    for (std::size_t i = 0; i < hidden; ++i) {
+      const float hp = h_prev == nullptr ? 0.0f : h_prev[i];
+      const float dhc = dh[i] * z[i];
+      dpre_h[i] = dhc * (1.0f - hc[i] * hc[i]);
+      dz_pre[i] = dh[i] * (hc[i] - hp) * z[i] * (1.0f - z[i]);
+      rh[i] = r[i] * hp;
+    }
+
+    std::fill(drh.begin(), drh.end(), 0.0f);
+    matvec_t(params_.uh, dpre_h.data(), hidden, hidden, drh.data());
+
+    for (std::size_t i = 0; i < hidden; ++i) {
+      const float hp = h_prev == nullptr ? 0.0f : h_prev[i];
+      const float dr = drh[i] * hp;
+      dr_pre[i] = dr * r[i] * (1.0f - r[i]);
+      dh_prev[i] = dh[i] * (1.0f - z[i]) + drh[i] * r[i];
+    }
+    matvec_t(params_.uz, dz_pre.data(), hidden, hidden, dh_prev.data());
+    matvec_t(params_.ur, dr_pre.data(), hidden, hidden, dh_prev.data());
+
+    const auto id = static_cast<std::size_t>(trace.ids[t]);
+    const float* x = params_.embed.data() + id * embed_dim;
+
+    outer_acc(grads.wz, dz_pre.data(), x, hidden, embed_dim);
+    outer_acc(grads.wr, dr_pre.data(), x, hidden, embed_dim);
+    outer_acc(grads.wh, dpre_h.data(), x, hidden, embed_dim);
+    if (h_prev != nullptr) {
+      outer_acc(grads.uz, dz_pre.data(), h_prev, hidden, hidden);
+      outer_acc(grads.ur, dr_pre.data(), h_prev, hidden, hidden);
+    }
+    outer_acc(grads.uh, dpre_h.data(), rh.data(), hidden, hidden);
+    for (std::size_t i = 0; i < hidden; ++i) {
+      grads.bz[i] += dz_pre[i];
+      grads.br[i] += dr_pre[i];
+      grads.bh[i] += dpre_h[i];
+    }
+
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    matvec_t(params_.wz, dz_pre.data(), hidden, embed_dim, dx.data());
+    matvec_t(params_.wr, dr_pre.data(), hidden, embed_dim, dx.data());
+    matvec_t(params_.wh, dpre_h.data(), hidden, embed_dim, dx.data());
+    float* de = grads.embed.data() + id * embed_dim;
+    for (std::size_t j = 0; j < embed_dim; ++j) de[j] += dx[j];
+
+    dh_next = dh_prev;
+  }
+}
+
+void GruClassifier::fit(const SequenceDataset& data, std::size_t vocab_size,
+                        std::uint64_t seed) {
+  if (data.sequences.size() != data.labels.size()) {
+    throw std::invalid_argument("GruClassifier: sequences/labels mismatch");
+  }
+  for (const auto& seq : data.sequences) {
+    for (std::int32_t id : seq) {
+      if (id < 0 || static_cast<std::size_t>(id) >= vocab_size) {
+        throw std::invalid_argument("GruClassifier: token id out of range");
+      }
+    }
+  }
+
+  vocab_size_ = vocab_size;
+  util::Rng rng(seed);
+  params_.resize(vocab_size, options_.embed_dim, options_.hidden_dim);
+  auto init = [&rng](std::vector<float>& w, double scale) {
+    for (float& v : w) v = static_cast<float>(rng.uniform(-scale, scale));
+  };
+  params_.for_each([&](std::vector<float>& w) { init(w, 0.08); });
+  // Biases start at zero.
+  std::fill(params_.bz.begin(), params_.bz.end(), 0.0f);
+  std::fill(params_.br.begin(), params_.br.end(), 0.0f);
+  std::fill(params_.bh.begin(), params_.bh.end(), 0.0f);
+
+  // Adam state mirrors the parameter layout.
+  Params m;
+  Params v;
+  m.resize(vocab_size, options_.embed_dim, options_.hidden_dim);
+  v.resize(vocab_size, options_.embed_dim, options_.hidden_dim);
+  float m_b = 0.0f;
+  float v_b = 0.0f;
+
+  const float beta1 = 0.9f;
+  const float beta2 = 0.999f;
+  const float eps = 1e-8f;
+  std::size_t step = 0;
+
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  util::ThreadPool& pool = util::default_pool();
+  std::mutex merge_mutex;
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t batch_start = 0; batch_start < order.size();
+         batch_start += options_.batch_size) {
+      const std::size_t batch_end =
+          std::min(order.size(), batch_start + options_.batch_size);
+      const std::size_t batch_n = batch_end - batch_start;
+
+      Params grads;
+      grads.resize(vocab_size, options_.embed_dim, options_.hidden_dim);
+      float grad_out_b = 0.0f;
+
+      pool.parallel_for(batch_n, [&](std::size_t lo, std::size_t hi) {
+        Params local;
+        local.resize(vocab_size, options_.embed_dim, options_.hidden_dim);
+        Trace trace;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::size_t i = order[batch_start + k];
+          const double p = forward(data.sequences[i], &trace);
+          const float y = data.labels[i] != 0 ? 1.0f : 0.0f;
+          const float dlogit = static_cast<float>(p) - y;
+          backward(data.sequences[i], trace, dlogit, local);
+        }
+        std::lock_guard lock(merge_mutex);
+        auto merge = [](std::vector<float>& dst, const std::vector<float>& src) {
+          for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+        };
+        merge(grads.embed, local.embed);
+        merge(grads.wz, local.wz);
+        merge(grads.wr, local.wr);
+        merge(grads.wh, local.wh);
+        merge(grads.uz, local.uz);
+        merge(grads.ur, local.ur);
+        merge(grads.uh, local.uh);
+        merge(grads.bz, local.bz);
+        merge(grads.br, local.br);
+        merge(grads.bh, local.bh);
+        merge(grads.out_w, local.out_w);
+        grad_out_b += local.out_b;
+      });
+
+      // Average over the batch, add L2, clip by global norm.
+      const float inv_n = 1.0f / static_cast<float>(batch_n);
+      double norm_sq = 0.0;
+      grads.for_each([&](std::vector<float>& g) {
+        for (float& value : g) {
+          value *= inv_n;
+          norm_sq += static_cast<double>(value) * value;
+        }
+      });
+      grad_out_b *= inv_n;
+      norm_sq += static_cast<double>(grad_out_b) * grad_out_b;
+      const auto norm = static_cast<float>(std::sqrt(norm_sq));
+      const float scale =
+          norm > options_.grad_clip ? options_.grad_clip / norm : 1.0f;
+
+      ++step;
+      const float bias_fix1 = 1.0f - std::pow(beta1, static_cast<float>(step));
+      const float bias_fix2 = 1.0f - std::pow(beta2, static_cast<float>(step));
+      const float lr = options_.learning_rate;
+
+      // Adam update, array by array (same traversal order in all three).
+      std::vector<std::vector<float>*> p_arrays;
+      std::vector<std::vector<float>*> g_arrays;
+      std::vector<std::vector<float>*> m_arrays;
+      std::vector<std::vector<float>*> v_arrays;
+      params_.for_each([&](std::vector<float>& a) { p_arrays.push_back(&a); });
+      grads.for_each([&](std::vector<float>& a) { g_arrays.push_back(&a); });
+      m.for_each([&](std::vector<float>& a) { m_arrays.push_back(&a); });
+      v.for_each([&](std::vector<float>& a) { v_arrays.push_back(&a); });
+
+      for (std::size_t a = 0; a < p_arrays.size(); ++a) {
+        std::vector<float>& pw = *p_arrays[a];
+        std::vector<float>& gw = *g_arrays[a];
+        std::vector<float>& mw = *m_arrays[a];
+        std::vector<float>& vw = *v_arrays[a];
+        for (std::size_t j = 0; j < pw.size(); ++j) {
+          const float g = gw[j] * scale + options_.l2 * pw[j];
+          mw[j] = beta1 * mw[j] + (1.0f - beta1) * g;
+          vw[j] = beta2 * vw[j] + (1.0f - beta2) * g * g;
+          const float m_hat = mw[j] / bias_fix1;
+          const float v_hat = vw[j] / bias_fix2;
+          pw[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+        }
+      }
+      {
+        const float g = grad_out_b * scale;
+        m_b = beta1 * m_b + (1.0f - beta1) * g;
+        v_b = beta2 * v_b + (1.0f - beta2) * g * g;
+        params_.out_b -= lr * (m_b / bias_fix1) / (std::sqrt(v_b / bias_fix2) + eps);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double GruClassifier::predict_score(std::span<const std::int32_t> sequence) const {
+  if (!fitted_) return 0.5;
+  return forward(sequence, nullptr);
+}
+
+std::vector<int> GruClassifier::predict_all(const SequenceDataset& data) const {
+  std::vector<int> out(data.size());
+  util::default_pool().parallel_for(data.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = predict(data.sequences[i]);
+  });
+  return out;
+}
+
+double GruClassifier::gradient_check(std::span<const std::int32_t> sequence,
+                                     int label, std::size_t vocab_size,
+                                     std::size_t samples, std::uint64_t seed) {
+  util::Rng rng(seed);
+  vocab_size_ = vocab_size;
+  params_.resize(vocab_size, options_.embed_dim, options_.hidden_dim);
+  params_.for_each([&rng](std::vector<float>& w) {
+    for (float& v : w) v = static_cast<float>(rng.uniform(-0.3, 0.3));
+  });
+  params_.out_b = static_cast<float>(rng.uniform(-0.3, 0.3));
+  fitted_ = true;
+
+  const float y = label != 0 ? 1.0f : 0.0f;
+  auto bce = [&]() {
+    const double p = std::clamp(forward(sequence, nullptr), 1e-7, 1.0 - 1e-7);
+    return -(static_cast<double>(y) * std::log(p) +
+             (1.0 - static_cast<double>(y)) * std::log(1.0 - p));
+  };
+
+  // Analytic gradient.
+  Trace trace;
+  const double p = forward(sequence, &trace);
+  Params grads;
+  grads.resize(vocab_size, options_.embed_dim, options_.hidden_dim);
+  backward(sequence, trace, static_cast<float>(p) - y, grads);
+
+  // Collect (parameter array, gradient array) pairs in matching order.
+  std::vector<std::vector<float>*> p_arrays;
+  std::vector<std::vector<float>*> g_arrays;
+  params_.for_each([&](std::vector<float>& a) { p_arrays.push_back(&a); });
+  grads.for_each([&](std::vector<float>& a) { g_arrays.push_back(&a); });
+
+  double max_rel_error = 0.0;
+  const double eps = 1e-3;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t array = rng.index(p_arrays.size());
+    if (p_arrays[array]->empty()) continue;
+    const std::size_t coord = rng.index(p_arrays[array]->size());
+    float& value = (*p_arrays[array])[coord];
+    const float saved = value;
+    value = static_cast<float>(saved + eps);
+    const double loss_hi = bce();
+    value = static_cast<float>(saved - eps);
+    const double loss_lo = bce();
+    value = saved;
+    const double numeric = (loss_hi - loss_lo) / (2.0 * eps);
+    const double analytic = static_cast<double>((*g_arrays[array])[coord]);
+    const double denom = std::max({std::fabs(numeric), std::fabs(analytic), 5e-2});
+    max_rel_error = std::max(max_rel_error, std::fabs(numeric - analytic) / denom);
+  }
+  // Also check the output bias.
+  {
+    const float saved = params_.out_b;
+    params_.out_b = static_cast<float>(saved + eps);
+    const double loss_hi = bce();
+    params_.out_b = static_cast<float>(saved - eps);
+    const double loss_lo = bce();
+    params_.out_b = saved;
+    const double numeric = (loss_hi - loss_lo) / (2.0 * eps);
+    const double analytic = static_cast<double>(grads.out_b);
+    const double denom = std::max({std::fabs(numeric), std::fabs(analytic), 5e-2});
+    max_rel_error = std::max(max_rel_error, std::fabs(numeric - analytic) / denom);
+  }
+  return max_rel_error;
+}
+
+double GruClassifier::loss(const SequenceDataset& data) const {
+  if (data.size() == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double p =
+        std::clamp(predict_score(data.sequences[i]), 1e-7, 1.0 - 1e-7);
+    const double y = data.labels[i] != 0 ? 1.0 : 0.0;
+    total += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+}  // namespace patchdb::nn

@@ -1,0 +1,47 @@
+#include "nn/vocab.h"
+
+#include <algorithm>
+
+namespace patchdb::nn {
+
+Vocabulary Vocabulary::build(std::span<const std::vector<std::string>> documents,
+                             std::size_t min_count, std::size_t max_size) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const auto& doc : documents) {
+    for (const std::string& token : doc) ++counts[token];
+  }
+
+  std::vector<std::pair<std::string, std::size_t>> frequent;
+  frequent.reserve(counts.size());
+  for (auto& [token, count] : counts) {
+    if (count >= min_count) frequent.emplace_back(token, count);
+  }
+  // Sort by count desc, then lexicographically for determinism.
+  std::sort(frequent.begin(), frequent.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (max_size > 0 && frequent.size() > max_size) frequent.resize(max_size);
+
+  Vocabulary vocab;
+  std::int32_t next = 2;
+  for (auto& [token, count] : frequent) {
+    vocab.ids_.emplace(token, next++);
+  }
+  vocab.size_ = static_cast<std::size_t>(next);
+  return vocab;
+}
+
+std::int32_t Vocabulary::id_of(std::string_view token) const {
+  const auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnk : it->second;
+}
+
+std::vector<std::int32_t> Vocabulary::encode(std::span<const std::string> tokens) const {
+  std::vector<std::int32_t> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) out.push_back(id_of(token));
+  return out;
+}
+
+}  // namespace patchdb::nn

@@ -1,0 +1,36 @@
+// Token vocabulary for the RNN classifier (Section IV-C): "the source
+// code of a given patch as a list of tokens including keywords,
+// identifiers, operators, etc." Tokens below `min_count` map to <unk>.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace patchdb::nn {
+
+class Vocabulary {
+ public:
+  static constexpr std::int32_t kPad = 0;
+  static constexpr std::int32_t kUnk = 1;
+
+  /// Build from token streams; tokens occurring fewer than `min_count`
+  /// times are not given ids. `max_size` caps the vocabulary (most
+  /// frequent kept), 0 = unlimited.
+  static Vocabulary build(std::span<const std::vector<std::string>> documents,
+                          std::size_t min_count = 2, std::size_t max_size = 0);
+
+  std::int32_t id_of(std::string_view token) const;
+  std::vector<std::int32_t> encode(std::span<const std::string> tokens) const;
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::unordered_map<std::string, std::int32_t> ids_;
+  std::size_t size_ = 2;  // pad + unk
+};
+
+}  // namespace patchdb::nn

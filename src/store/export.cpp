@@ -1,0 +1,174 @@
+#include "store/export.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "diff/parse.h"
+#include "diff/render.h"
+#include "feature/features.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace patchdb::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("store: cannot open " + path.string());
+  out << content;
+  if (!out) throw std::runtime_error("store: short write to " + path.string());
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("store: cannot read " + path.string());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+std::string manifest_row(const std::string& commit, const std::string& component,
+                         bool is_security, int type, const std::string& repo,
+                         const std::string& origin, int variant,
+                         int modified_after) {
+  std::string row;
+  row += commit;
+  row += ',';
+  row += component;
+  row += ',';
+  row += is_security ? "security" : "nonsecurity";
+  row += ',';
+  row += std::to_string(type);
+  row += ',';
+  row += repo;
+  row += ',';
+  row += origin;
+  row += ',';
+  row += std::to_string(variant);
+  row += ',';
+  row += std::to_string(modified_after);
+  row += '\n';
+  return row;
+}
+
+void export_records(const std::vector<corpus::CommitRecord>& records,
+                    const char* component, const fs::path& root,
+                    std::string& manifest, std::string& features,
+                    ExportStats& stats) {
+  const fs::path dir = root / component;
+  fs::create_directories(dir);
+  for (const corpus::CommitRecord& record : records) {
+    write_file(dir / (record.patch.commit + ".patch"),
+               diff::render_patch(record.patch));
+    manifest += manifest_row(record.patch.commit, component,
+                             record.truth.is_security,
+                             static_cast<int>(record.truth.type), record.repo,
+                             "", 0, 0);
+    const feature::FeatureVector v = feature::extract(record.patch);
+    features += record.patch.commit;
+    for (double value : v) {
+      features += ',';
+      features += util::format_double(value, 6);
+    }
+    features += '\n';
+    ++stats.feature_rows;
+    ++stats.patches_written;
+  }
+}
+
+}  // namespace
+
+std::string manifest_header() {
+  return "commit,component,label,type,repo,origin,variant,modified_after\n";
+}
+
+ExportStats export_patchdb(const core::PatchDb& db, const fs::path& root) {
+  ExportStats stats;
+  stats.root = root;
+  fs::create_directories(root);
+
+  std::string manifest = manifest_header();
+  std::string features = "commit";
+  for (std::string_view name : feature::feature_names()) {
+    features += ',';
+    features += name;
+  }
+  features += '\n';
+
+  export_records(db.nvd_security, "nvd", root, manifest, features, stats);
+  export_records(db.wild_security, "wild", root, manifest, features, stats);
+  export_records(db.nonsecurity, "nonsecurity", root, manifest, features, stats);
+
+  const fs::path synth_dir = root / "synthetic";
+  fs::create_directories(synth_dir);
+  for (const synth::SyntheticPatch& s : db.synthetic) {
+    write_file(synth_dir / (s.patch.commit + ".patch"),
+               diff::render_patch(s.patch));
+    manifest += manifest_row(s.patch.commit, "synthetic", s.truth.is_security,
+                             static_cast<int>(s.truth.type), "", s.origin_commit,
+                             static_cast<int>(s.variant), s.modified_after ? 1 : 0);
+    ++stats.patches_written;
+  }
+
+  write_file(root / "manifest.csv", manifest);
+  write_file(root / "features.csv", features);
+  return stats;
+}
+
+LoadedPatchDb load_patchdb(const fs::path& root) {
+  const std::string manifest = read_file(root / "manifest.csv");
+  const auto lines = util::split_lines(manifest);
+  if (lines.empty() || std::string(lines[0]) + "\n" != manifest_header()) {
+    throw std::runtime_error("store: bad manifest header in " + root.string());
+  }
+
+  LoadedPatchDb db;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = util::split(lines[i], ',');
+    if (fields.size() != 8) {
+      throw std::runtime_error("store: malformed manifest row " +
+                               std::to_string(i + 1));
+    }
+    const std::string commit(fields[0]);
+    const std::string component(fields[1]);
+    const bool is_security = fields[2] == "security";
+    const int type = std::atoi(std::string(fields[3]).c_str());
+
+    const fs::path patch_path = root / component / (commit + ".patch");
+    diff::Patch patch = diff::parse_patch(read_file(patch_path));
+
+    if (component == "synthetic") {
+      synth::SyntheticPatch s;
+      s.patch = std::move(patch);
+      s.truth.is_security = is_security;
+      s.truth.type = static_cast<corpus::PatchType>(type);
+      s.origin_commit = std::string(fields[5]);
+      s.variant = static_cast<synth::IfVariant>(
+          std::atoi(std::string(fields[6]).c_str()));
+      s.modified_after = fields[7] == "1";
+      db.synthetic.push_back(std::move(s));
+      continue;
+    }
+
+    corpus::CommitRecord record;
+    record.patch = std::move(patch);
+    record.truth.is_security = is_security;
+    record.truth.type = static_cast<corpus::PatchType>(type);
+    record.repo = std::string(fields[4]);
+    if (component == "nvd") {
+      db.nvd_security.push_back(std::move(record));
+    } else if (component == "wild") {
+      db.wild_security.push_back(std::move(record));
+    } else if (component == "nonsecurity") {
+      db.nonsecurity.push_back(std::move(record));
+    } else {
+      throw std::runtime_error("store: unknown component '" + component + "'");
+    }
+  }
+  return db;
+}
+
+}  // namespace patchdb::store

@@ -1,0 +1,53 @@
+// On-disk dataset layout — the release format. A PatchDB export is a
+// directory tree mirroring how the real PatchDB is published (one
+// `.patch` file per commit, grouped by component, plus CSV metadata):
+//
+//   <root>/
+//     manifest.csv             # one row per patch: id, component, label,
+//                              # type, repo, origin, variant
+//     features.csv             # one row per natural patch: id + 60 features
+//     nvd/<commit>.patch
+//     wild/<commit>.patch
+//     nonsecurity/<commit>.patch
+//     synthetic/<commit>.patch
+//
+// Exports round-trip: load_patchdb(export_patchdb(db)) reproduces every
+// patch byte-for-byte (modulo snapshots, which are not exported — they
+// are reconstruction artifacts of the simulator, not dataset content).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/patchdb.h"
+
+namespace patchdb::store {
+
+struct ExportStats {
+  std::size_t patches_written = 0;
+  std::size_t feature_rows = 0;
+  std::filesystem::path root;
+};
+
+/// Write the dataset under `root` (created if absent; existing files are
+/// overwritten). Throws std::runtime_error on I/O failure.
+ExportStats export_patchdb(const core::PatchDb& db, const std::filesystem::path& root);
+
+/// A dataset loaded back from disk. Snapshots are empty (see above);
+/// synthetic truth/variant/origin metadata is restored from the manifest.
+struct LoadedPatchDb {
+  std::vector<corpus::CommitRecord> nvd_security;
+  std::vector<corpus::CommitRecord> wild_security;
+  std::vector<corpus::CommitRecord> nonsecurity;
+  std::vector<synth::SyntheticPatch> synthetic;
+};
+
+/// Read an exported dataset. Throws std::runtime_error when the manifest
+/// is missing or malformed, or when a listed patch file fails to parse.
+LoadedPatchDb load_patchdb(const std::filesystem::path& root);
+
+/// Render one manifest row (exposed for tests).
+std::string manifest_header();
+
+}  // namespace patchdb::store

@@ -1,0 +1,179 @@
+#include "synth/synthesize.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "diff/myers.h"
+#include "diff/render.h"
+#include "lang/parser.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::synth {
+
+namespace {
+
+/// 1-based changed-line ranges of one version of a file, derived from the
+/// hunks: old-side lines with removals (BEFORE) or new-side lines with
+/// additions (AFTER).
+std::vector<std::pair<std::size_t, std::size_t>> changed_ranges(
+    const diff::FileDiff& fd, bool after_version) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (const diff::Hunk& hunk : fd.hunks) {
+    if (after_version) {
+      if (hunk.new_count == 0) continue;
+      ranges.emplace_back(hunk.new_start, hunk.new_start + hunk.new_count - 1);
+    } else {
+      if (hunk.old_count == 0) continue;
+      ranges.emplace_back(hunk.old_start, hunk.old_start + hunk.old_count - 1);
+    }
+  }
+  return ranges;
+}
+
+struct Site {
+  const corpus::FileSnapshot* snapshot = nullptr;
+  const diff::FileDiff* fd = nullptr;
+  bool after_version = true;
+  std::size_t if_line = 0;
+  std::string condition;
+};
+
+}  // namespace
+
+std::vector<SyntheticPatch> synthesize(const corpus::CommitRecord& record,
+                                       const SynthesisOptions& options,
+                                       std::uint64_t seed) {
+  std::vector<SyntheticPatch> out;
+  if (record.snapshots.empty()) return out;
+
+  // ---- Step 1+2 (paper): parse both file versions, collect the `if`
+  // statements whose extent intersects the patch's changed lines.
+  std::vector<Site> sites;
+  for (const corpus::FileSnapshot& snapshot : record.snapshots) {
+    const diff::FileDiff* fd = nullptr;
+    for (const diff::FileDiff& candidate : record.patch.files) {
+      const std::string& path =
+          candidate.new_path.empty() ? candidate.old_path : candidate.new_path;
+      if (path == snapshot.path) {
+        fd = &candidate;
+        break;
+      }
+    }
+    if (fd == nullptr) continue;
+
+    for (const bool after_version : {false, true}) {
+      if (after_version && !options.modify_after) continue;
+      if (!after_version && !options.modify_before) continue;
+      const std::vector<std::string>& lines =
+          after_version ? snapshot.after : snapshot.before;
+      const lang::ParsedFile parsed = lang::parse_file(lines);
+      const auto ranges = changed_ranges(*fd, after_version);
+      for (const auto& [first, last] : ranges) {
+        for (const lang::IfStatementInfo* info :
+             lang::ifs_touching(parsed, first, last)) {
+          // Only single-line conditions are rewriteable (Fig. 5 templates
+          // substitute the whole condition in place).
+          if (info->cond_begin_line != info->if_line ||
+              info->cond_end_line != info->if_line || info->condition.empty()) {
+            continue;
+          }
+          sites.push_back(Site{&snapshot, fd, after_version, info->if_line,
+                               info->condition});
+        }
+      }
+    }
+  }
+  if (sites.empty()) return out;
+
+  // Dedupe sites that multiple overlapping ranges discovered twice.
+  std::sort(sites.begin(), sites.end(), [](const Site& a, const Site& b) {
+    if (a.snapshot != b.snapshot) return a.snapshot < b.snapshot;
+    if (a.after_version != b.after_version) return a.after_version < b.after_version;
+    return a.if_line < b.if_line;
+  });
+  sites.erase(std::unique(sites.begin(), sites.end(),
+                          [](const Site& a, const Site& b) {
+                            return a.snapshot == b.snapshot &&
+                                   a.after_version == b.after_version &&
+                                   a.if_line == b.if_line;
+                          }),
+              sites.end());
+
+  // ---- Step 3: enumerate (site, variant) pairs, sample down to the cap,
+  // apply each rewrite and re-diff.
+  struct Job {
+    std::size_t site;
+    IfVariant variant;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    for (IfVariant v : all_variants()) jobs.push_back(Job{s, v});
+  }
+  util::Rng rng(seed);
+  rng.shuffle(jobs);
+  if (options.max_per_patch > 0 && jobs.size() > options.max_per_patch) {
+    jobs.resize(options.max_per_patch);
+  }
+
+  for (const Job& job : jobs) {
+    const Site& site = sites[job.site];
+    std::vector<std::string> mutated =
+        site.after_version ? site.snapshot->after : site.snapshot->before;
+    if (!apply_variant(mutated, site.if_line, site.condition, job.variant)) {
+      continue;
+    }
+
+    SyntheticPatch synthetic;
+    synthetic.origin_commit = record.patch.commit;
+    synthetic.variant = job.variant;
+    synthetic.modified_after = site.after_version;
+    synthetic.truth = record.truth;
+
+    diff::Patch patch;
+    patch.author = record.patch.author;
+    patch.date = record.patch.date;
+    patch.message = record.patch.message;
+    // Re-diff the (possibly mutated) version pair for every touched file.
+    for (const corpus::FileSnapshot& snapshot : record.snapshots) {
+      const bool is_target = &snapshot == site.snapshot;
+      const std::vector<std::string>& before =
+          (is_target && !site.after_version) ? mutated : snapshot.before;
+      const std::vector<std::string>& after =
+          (is_target && site.after_version) ? mutated : snapshot.after;
+      diff::FileDiff fd = diff::diff_file(snapshot.path, before, after);
+      if (!fd.hunks.empty()) patch.files.push_back(std::move(fd));
+    }
+    if (patch.files.empty()) continue;
+    patch.commit = util::commit_id(diff::render_file_diffs(patch.files) +
+                                   synthetic.origin_commit +
+                                   std::to_string(static_cast<int>(job.variant)));
+    synthetic.patch = std::move(patch);
+    out.push_back(std::move(synthetic));
+  }
+  return out;
+}
+
+std::vector<SyntheticPatch> synthesize_all(
+    std::span<const corpus::CommitRecord> records,
+    const SynthesisOptions& options, std::uint64_t seed) {
+  std::vector<std::vector<SyntheticPatch>> per_record(records.size());
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> seeds(records.size());
+  for (auto& s : seeds) s = rng();
+
+  util::default_pool().parallel_for(
+      records.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          per_record[i] = synthesize(records[i], options, seeds[i]);
+        }
+      });
+
+  std::vector<SyntheticPatch> out;
+  for (auto& chunk : per_record) {
+    for (auto& p : chunk) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace patchdb::synth

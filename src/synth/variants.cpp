@@ -1,0 +1,111 @@
+#include "synth/variants.h"
+
+#include "util/strings.h"
+
+namespace patchdb::synth {
+
+std::array<IfVariant, kVariantCount> all_variants() {
+  return {IfVariant::kOrZero,   IfVariant::kAndOne,  IfVariant::kHoistEq,
+          IfVariant::kHoistNegate, IfVariant::kFlagSet, IfVariant::kFlagClear,
+          IfVariant::kFlagAnd,  IfVariant::kFlagOrNot};
+}
+
+const char* variant_name(IfVariant variant) {
+  switch (variant) {
+    case IfVariant::kOrZero: return "or-zero guard";
+    case IfVariant::kAndOne: return "and-one guard";
+    case IfVariant::kHoistEq: return "hoisted boolean (==)";
+    case IfVariant::kHoistNegate: return "hoisted negated boolean";
+    case IfVariant::kFlagSet: return "flag set";
+    case IfVariant::kFlagClear: return "flag clear";
+    case IfVariant::kFlagAnd: return "flag and condition";
+    case IfVariant::kFlagOrNot: return "not-flag or condition";
+  }
+  return "?";
+}
+
+VariantRewrite rewrite_if(IfVariant variant, const std::string& condition,
+                          const std::string& indent) {
+  VariantRewrite r;
+  const std::string cond = "(" + condition + ")";
+  switch (variant) {
+    case IfVariant::kOrZero:
+      r.setup = {indent + "const int _SYS_ZERO = 0;"};
+      r.new_if_head = indent + "if (_SYS_ZERO || " + cond + ")";
+      break;
+    case IfVariant::kAndOne:
+      r.setup = {indent + "const int _SYS_ONE = 1;"};
+      r.new_if_head = indent + "if (_SYS_ONE && " + cond + ")";
+      break;
+    case IfVariant::kHoistEq:
+      r.setup = {indent + "int _SYS_STMT = " + cond + ";"};
+      r.new_if_head = indent + "if (1 == _SYS_STMT)";
+      break;
+    case IfVariant::kHoistNegate:
+      r.setup = {indent + "int _SYS_STMT = !" + cond + ";"};
+      r.new_if_head = indent + "if (!_SYS_STMT)";
+      break;
+    case IfVariant::kFlagSet:
+      r.setup = {indent + "int _SYS_VAL = 0;",
+                 indent + "if " + cond + " { _SYS_VAL = 1; }"};
+      r.new_if_head = indent + "if (_SYS_VAL)";
+      break;
+    case IfVariant::kFlagClear:
+      r.setup = {indent + "int _SYS_VAL = 1;",
+                 indent + "if " + cond + " { _SYS_VAL = 0; }"};
+      r.new_if_head = indent + "if (!_SYS_VAL)";
+      break;
+    case IfVariant::kFlagAnd:
+      r.setup = {indent + "int _SYS_VAL = 0;",
+                 indent + "if " + cond + " { _SYS_VAL = 1; }"};
+      r.new_if_head = indent + "if (_SYS_VAL && " + cond + ")";
+      break;
+    case IfVariant::kFlagOrNot:
+      r.setup = {indent + "int _SYS_VAL = 1;",
+                 indent + "if " + cond + " { _SYS_VAL = 0; }"};
+      r.new_if_head = indent + "if (!_SYS_VAL || " + cond + ")";
+      break;
+  }
+  return r;
+}
+
+bool apply_variant(std::vector<std::string>& lines, std::size_t if_line,
+                   const std::string& condition, IfVariant variant) {
+  if (if_line == 0 || if_line > lines.size()) return false;
+  const std::size_t index = if_line - 1;
+  const std::string& original = lines[index];
+
+  // The line must contain an `if (` head and the closing paren of the
+  // condition must be on the same line (single-line conditions only).
+  const std::size_t if_pos = original.find("if");
+  if (if_pos == std::string::npos) return false;
+  const std::size_t open = original.find('(', if_pos);
+  if (open == std::string::npos) return false;
+  // Match the closing parenthesis of the condition.
+  std::size_t depth = 0;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = open; i < original.size(); ++i) {
+    if (original[i] == '(') ++depth;
+    else if (original[i] == ')') {
+      if (--depth == 0) {
+        close = i;
+        break;
+      }
+    }
+  }
+  if (close == std::string::npos) return false;
+
+  const std::string indent = original.substr(0, original.find_first_not_of(" \t"));
+  const std::string tail = original.substr(close + 1);  // " {" or ""
+
+  const VariantRewrite rewrite = rewrite_if(variant, condition, indent);
+  std::vector<std::string> replacement = rewrite.setup;
+  replacement.push_back(rewrite.new_if_head + tail);
+
+  lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(index));
+  lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(index),
+               replacement.begin(), replacement.end());
+  return true;
+}
+
+}  // namespace patchdb::synth

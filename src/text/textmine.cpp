@@ -1,0 +1,110 @@
+#include "text/textmine.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace patchdb::text {
+
+std::vector<std::string> words(std::string_view message) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : message) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+bool mentions_security(std::string_view message) {
+  static constexpr std::array<std::string_view, 18> kKeywords = {
+      "security", "cve",      "vulnerability", "vulnerable", "exploit",
+      "overflow", "underflow", "use-after-free", "uaf",       "double-free",
+      "out-of-bounds", "oob", "injection",     "dos",        "leak",
+      "race",     "sanitize", "null pointer",
+  };
+  const std::string lower = util::to_lower(message);
+  for (std::string_view keyword : kKeywords) {
+    if (lower.find(keyword) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void TextNaiveBayes::fit(std::span<const std::string> messages,
+                         std::span<const int> labels) {
+  if (messages.size() != labels.size()) {
+    throw std::invalid_argument("TextNaiveBayes: size mismatch");
+  }
+  fitted_ = false;
+
+  // Pass 1: count words to fix the vocabulary.
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const std::string& message : messages) {
+    for (std::string& w : words(message)) ++counts[std::move(w)];
+  }
+  word_ids_.clear();
+  std::size_t next = 1;  // 0 = <unk>
+  for (const auto& [word, count] : counts) {
+    if (count >= min_count_) word_ids_.emplace(word, next++);
+  }
+
+  // Pass 2: per-class word counts with Laplace smoothing.
+  std::vector<double> pos_counts(next, 1.0);
+  std::vector<double> neg_counts(next, 1.0);
+  double pos_total = static_cast<double>(next);
+  double neg_total = static_cast<double>(next);
+  std::size_t pos_docs = 0;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const bool positive = labels[i] != 0;
+    pos_docs += positive;
+    for (const std::string& w : words(messages[i])) {
+      const auto it = word_ids_.find(w);
+      const std::size_t id = it == word_ids_.end() ? 0 : it->second;
+      (positive ? pos_counts : neg_counts)[id] += 1.0;
+      (positive ? pos_total : neg_total) += 1.0;
+    }
+  }
+
+  log_pos_.resize(next);
+  log_neg_.resize(next);
+  for (std::size_t id = 0; id < next; ++id) {
+    log_pos_[id] = std::log(pos_counts[id] / pos_total);
+    log_neg_[id] = std::log(neg_counts[id] / neg_total);
+  }
+  // Words never seen in training carry no evidence. Without this, <unk>
+  // systematically favors whichever class had fewer training tokens — a
+  // classic multinomial-NB pathology that would let novel vocabulary
+  // (exactly what silent fixes use) flip predictions for free.
+  log_pos_[0] = log_neg_[0] = std::log(1.0 / std::max(pos_total, neg_total));
+  const double n = static_cast<double>(messages.size());
+  log_prior_pos_ = std::log((static_cast<double>(pos_docs) + 1.0) / (n + 2.0));
+  log_prior_neg_ =
+      std::log((n - static_cast<double>(pos_docs) + 1.0) / (n + 2.0));
+  fitted_ = true;
+}
+
+double TextNaiveBayes::predict_score(std::string_view message) const {
+  if (!fitted_) return 0.5;
+  double log_pos = log_prior_pos_;
+  double log_neg = log_prior_neg_;
+  for (const std::string& w : words(message)) {
+    const auto it = word_ids_.find(w);
+    const std::size_t id = it == word_ids_.end() ? 0 : it->second;
+    log_pos += log_pos_[id];
+    log_neg += log_neg_[id];
+  }
+  const double m = std::max(log_pos, log_neg);
+  const double p = std::exp(log_pos - m);
+  const double q = std::exp(log_neg - m);
+  return p / (p + q);
+}
+
+}  // namespace patchdb::text

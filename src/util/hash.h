@@ -1,0 +1,41 @@
+// Hashing helpers: FNV-1a for content hashing and deterministic
+// generation of git-style 40-hex commit identifiers for the simulated
+// repositories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace patchdb::util {
+
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Render a 64-bit value as fixed-width lowercase hex.
+inline std::string to_hex(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Deterministic git-style commit id (40 hex chars) derived from content.
+inline std::string commit_id(std::string_view content) {
+  const std::uint64_t a = fnv1a64(content);
+  const std::uint64_t b = fnv1a64(content, 0x84222325cbf29ce4ULL);
+  const std::uint64_t c = fnv1a64(content, 0x9e3779b97f4a7c15ULL);
+  return to_hex(a) + to_hex(b) + to_hex(c).substr(0, 8);
+}
+
+}  // namespace patchdb::util

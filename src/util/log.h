@@ -1,0 +1,43 @@
+// Minimal leveled logger. Library code logs sparingly (round summaries,
+// corpus generation progress); bench binaries raise the level to Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace patchdb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at `level` (thread-safe; no-op when below the threshold).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace patchdb::util

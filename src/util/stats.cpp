@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace patchdb::util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double total = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = total / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+Interval wald_interval(std::size_t successes, std::size_t trials, double z) {
+  Interval ci;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  ci.center = p;
+  ci.half_width = z * std::sqrt(p * (1.0 - p) / n);
+  ci.lo = std::max(0.0, p - ci.half_width);
+  ci.hi = std::min(1.0, p + ci.half_width);
+  return ci;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  Interval ci;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  ci.center = center;
+  ci.half_width = margin;
+  ci.lo = std::max(0.0, center - margin);
+  ci.hi = std::min(1.0, center + margin);
+  return ci;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::string format_percent_ci(const Interval& ci) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f(+/-%.1f)%%", ci.center * 100.0,
+                ci.half_width * 100.0);
+  return buf;
+}
+
+}  // namespace patchdb::util

@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace patchdb::util {
+
+namespace {
+// True while the current thread is executing a pool task; used to run
+// nested parallel_for bodies inline instead of deadlocking on wait_idle.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (t_on_pool_worker) {
+    body(0, n);  // nested call: run inline (see header)
+    return;
+  }
+  const std::size_t workers = workers_.size();
+  // Over-decompose a little so uneven chunks balance out.
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    submit([&, begin, end] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+    });
+  }
+  wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping with an empty queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_on_pool_worker = true;
+    task();
+    t_on_pool_worker = false;
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace patchdb::util

@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a blocking parallel_for. The nearest link
+// search computes an M x N weighted distance matrix (Section III-B);
+// at paper scale (4076 x 200K) that is the dominant cost, so the matrix
+// is computed in row blocks across the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace patchdb::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; runs on some worker eventually.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Partition [0, n) into contiguous chunks and run `body(begin, end)`
+  /// on the pool; blocks until all chunks are done. Exceptions thrown by
+  /// the body are rethrown (first one wins) on the calling thread.
+  /// Nested calls from a worker thread run the body inline (serially):
+  /// blocking a worker on wait_idle() would deadlock the pool, and the
+  /// outer parallelism already saturates it.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool, sized to the machine.
+ThreadPool& default_pool();
+
+}  // namespace patchdb::util

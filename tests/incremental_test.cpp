@@ -1,0 +1,171 @@
+// Tests for the round-to-round optimizations: the IncrementalLinker
+// (cached-neighborhood nearest link) and k-fold cross validation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/distance.h"
+#include "core/incremental.h"
+#include "core/nearest_link.h"
+#include "ml/crossval.h"
+#include "ml/forest.h"
+#include "util/rng.h"
+
+namespace patchdb {
+namespace {
+
+feature::FeatureMatrix random_features(std::size_t rows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  feature::FeatureMatrix m(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+      m[i][j] = rng.uniform(-10, 10);
+    }
+  }
+  return m;
+}
+
+// ------------------------------------------------- incremental linker --
+
+class IncrementalVsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalVsExhaustive, MatchesBatchGreedyOnFreshPool) {
+  const std::uint64_t seed = GetParam();
+  const feature::FeatureMatrix seeds = random_features(12, seed * 3 + 1);
+  const feature::FeatureMatrix pool = random_features(300, seed * 3 + 2);
+  const std::vector<double> weights = core::maxabs_weights(seeds, pool);
+
+  core::IncrementalLinker linker(/*k=*/24);
+  linker.set_pool(pool, weights);
+  linker.add_seeds(seeds);
+  const core::LinkResult incremental = linker.link();
+
+  const core::DistanceMatrix d = core::distance_matrix(seeds, pool, weights);
+  const core::LinkResult batch = core::nearest_link_search(d);
+
+  // With k >= number of links consumed from any neighborhood, the cached
+  // greedy makes the same choices as the exhaustive greedy.
+  ASSERT_EQ(incremental.candidate.size(), batch.candidate.size());
+  EXPECT_EQ(incremental.candidate, batch.candidate);
+  EXPECT_NEAR(incremental.total_distance, batch.total_distance, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalVsExhaustive,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(IncrementalLinker, DistinctCandidatesAlways) {
+  const feature::FeatureMatrix seeds = random_features(40, 7);
+  const feature::FeatureMatrix pool = random_features(60, 8);
+  core::IncrementalLinker linker(/*k=*/4);  // tiny cache forces fallbacks
+  linker.set_pool(pool, core::maxabs_weights(seeds, pool));
+  linker.add_seeds(seeds);
+  const core::LinkResult r = linker.link();
+  const std::set<std::size_t> unique(r.candidate.begin(), r.candidate.end());
+  EXPECT_EQ(unique.size(), seeds.rows());
+  EXPECT_GT(linker.row_scans(), seeds.rows());  // cache misses happened
+}
+
+TEST(IncrementalLinker, RemovalShrinksLivePoolAndAvoidsDead) {
+  const feature::FeatureMatrix seeds = random_features(10, 11);
+  const feature::FeatureMatrix pool = random_features(100, 12);
+  core::IncrementalLinker linker;
+  linker.set_pool(pool, core::maxabs_weights(seeds, pool));
+  linker.add_seeds(seeds);
+
+  const core::LinkResult first = linker.link();
+  linker.remove_from_pool(first.candidate);
+  EXPECT_EQ(linker.pool_live(), 90u);
+
+  const core::LinkResult second = linker.link();
+  for (std::size_t c : second.candidate) {
+    EXPECT_EQ(std::count(first.candidate.begin(), first.candidate.end(), c), 0)
+        << "linked to a removed pool entry";
+  }
+}
+
+TEST(IncrementalLinker, AddSeedsOnlyScansNewRows) {
+  const feature::FeatureMatrix seeds_a = random_features(10, 21);
+  const feature::FeatureMatrix seeds_b = random_features(5, 22);
+  const feature::FeatureMatrix pool = random_features(200, 23);
+  core::IncrementalLinker linker;
+  linker.set_pool(pool, core::maxabs_weights(seeds_a, pool));
+  linker.add_seeds(seeds_a);
+  (void)linker.link();
+  const std::size_t scans_after_first = linker.row_scans();
+  EXPECT_EQ(scans_after_first, 10u);
+
+  linker.add_seeds(seeds_b);
+  (void)linker.link();
+  // Only the 5 new seeds needed fresh row scans (plus possible fallbacks,
+  // which should be zero here: nothing was removed).
+  EXPECT_EQ(linker.row_scans(), scans_after_first + 5u);
+}
+
+TEST(IncrementalLinker, ErrorsOnMisuse) {
+  core::IncrementalLinker linker;
+  const feature::FeatureMatrix seeds = random_features(3, 31);
+  EXPECT_THROW(linker.add_seeds(seeds), std::logic_error);  // no pool yet
+
+  const feature::FeatureMatrix pool = random_features(2, 32);
+  linker.set_pool(pool, std::vector<double>(feature::kFeatureCount, 1.0));
+  linker.add_seeds(seeds);
+  EXPECT_THROW(linker.link(), std::invalid_argument);  // pool < seeds
+
+  EXPECT_THROW(linker.remove_from_pool(std::vector<std::size_t>{99}),
+               std::out_of_range);
+}
+
+TEST(IncrementalLinker, EmptySeedSetYieldsEmptyResult) {
+  core::IncrementalLinker linker;
+  const feature::FeatureMatrix pool = random_features(5, 41);
+  linker.set_pool(pool, std::vector<double>(feature::kFeatureCount, 1.0));
+  const core::LinkResult r = linker.link();
+  EXPECT_TRUE(r.candidate.empty());
+  EXPECT_EQ(r.total_distance, 0.0);
+}
+
+// ---------------------------------------------------------- crossval --
+
+ml::Dataset blobs(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.normal(label == 1 ? 2.0 : -2.0, 1.0);
+    data.push_back(std::move(x), label);
+  }
+  return data;
+}
+
+TEST(CrossVal, FiveFoldOnSeparableData) {
+  const ml::Dataset data = blobs(300, 3);
+  const ml::CrossValResult result = ml::cross_validate(
+      data, 5, [] { return std::make_unique<ml::RandomForest>(); }, 7);
+  ASSERT_EQ(result.folds.size(), 5u);
+  EXPECT_GT(result.mean_accuracy(), 0.9);
+  EXPECT_GT(result.mean_precision(), 0.9);
+  EXPECT_GT(result.mean_recall(), 0.9);
+  EXPECT_GT(result.mean_f1(), 0.9);
+}
+
+TEST(CrossVal, FoldsCoverEveryRowOnce) {
+  const ml::Dataset data = blobs(100, 5);
+  const ml::CrossValResult result = ml::cross_validate(
+      data, 4, [] { return std::make_unique<ml::RandomForest>(); }, 9);
+  std::size_t tested = 0;
+  for (const ml::Confusion& c : result.folds) {
+    tested += c.tp + c.fp + c.tn + c.fn;
+  }
+  EXPECT_EQ(tested, data.size());
+}
+
+TEST(CrossVal, RejectsBadK) {
+  const ml::Dataset data = blobs(10, 7);
+  const auto factory = [] { return std::make_unique<ml::RandomForest>(); };
+  EXPECT_THROW(ml::cross_validate(data, 1, factory, 1), std::invalid_argument);
+  EXPECT_THROW(ml::cross_validate(data, 11, factory, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace patchdb

@@ -1,0 +1,144 @@
+// Tests for the on-disk dataset layout: export/load round trips, layout
+// contents, and failure handling for corrupted exports.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/patchdb.h"
+#include "diff/render.h"
+#include "store/export.h"
+
+namespace patchdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("patchdb_store_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static core::PatchDb small_db() {
+    core::BuildOptions options;
+    options.world.repos = 4;
+    options.world.nvd_security = 25;
+    options.world.wild_pool = 400;
+    options.world.seed = 404;
+    options.augment.max_rounds = 1;
+    options.synthesis.max_per_patch = 2;
+    return core::build_patchdb(options);
+  }
+
+  fs::path root_;
+};
+
+TEST_F(StoreTest, ExportWritesLayout) {
+  const core::PatchDb db = small_db();
+  const store::ExportStats stats = store::export_patchdb(db, root_);
+
+  EXPECT_TRUE(fs::exists(root_ / "manifest.csv"));
+  EXPECT_TRUE(fs::exists(root_ / "features.csv"));
+  EXPECT_TRUE(fs::exists(root_ / "nvd"));
+  EXPECT_TRUE(fs::exists(root_ / "wild"));
+  EXPECT_TRUE(fs::exists(root_ / "nonsecurity"));
+  EXPECT_TRUE(fs::exists(root_ / "synthetic"));
+
+  const std::size_t expected = db.nvd_security.size() + db.wild_security.size() +
+                               db.nonsecurity.size() + db.synthetic.size();
+  EXPECT_EQ(stats.patches_written, expected);
+  EXPECT_EQ(stats.feature_rows,
+            expected - db.synthetic.size());  // features for natural only
+
+  // Every NVD patch file exists and is non-empty.
+  for (const corpus::CommitRecord& r : db.nvd_security) {
+    const fs::path p = root_ / "nvd" / (r.patch.commit + ".patch");
+    ASSERT_TRUE(fs::exists(p)) << p;
+    EXPECT_GT(fs::file_size(p), 0u);
+  }
+}
+
+TEST_F(StoreTest, RoundTripPreservesEverything) {
+  const core::PatchDb db = small_db();
+  store::export_patchdb(db, root_);
+  const store::LoadedPatchDb loaded = store::load_patchdb(root_);
+
+  ASSERT_EQ(loaded.nvd_security.size(), db.nvd_security.size());
+  ASSERT_EQ(loaded.wild_security.size(), db.wild_security.size());
+  ASSERT_EQ(loaded.nonsecurity.size(), db.nonsecurity.size());
+  ASSERT_EQ(loaded.synthetic.size(), db.synthetic.size());
+
+  // Patches round-trip byte-for-byte through render/parse/render; the
+  // manifest restores labels, types, repos.
+  for (std::size_t i = 0; i < db.nvd_security.size(); ++i) {
+    // Order within a component is preserved by the manifest.
+    EXPECT_EQ(diff::render_patch(loaded.nvd_security[i].patch),
+              diff::render_patch(db.nvd_security[i].patch));
+    EXPECT_EQ(loaded.nvd_security[i].truth.type, db.nvd_security[i].truth.type);
+    EXPECT_EQ(loaded.nvd_security[i].repo, db.nvd_security[i].repo);
+    EXPECT_TRUE(loaded.nvd_security[i].truth.is_security);
+  }
+  for (std::size_t i = 0; i < db.synthetic.size(); ++i) {
+    EXPECT_EQ(loaded.synthetic[i].origin_commit, db.synthetic[i].origin_commit);
+    EXPECT_EQ(loaded.synthetic[i].variant, db.synthetic[i].variant);
+    EXPECT_EQ(loaded.synthetic[i].modified_after, db.synthetic[i].modified_after);
+    EXPECT_EQ(loaded.synthetic[i].truth.is_security,
+              db.synthetic[i].truth.is_security);
+  }
+}
+
+TEST_F(StoreTest, FeaturesCsvHasHeaderAndRows) {
+  const core::PatchDb db = small_db();
+  store::export_patchdb(db, root_);
+  std::ifstream in(root_ / "features.csv");
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("commit,changed_lines,", 0), 0u);
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, db.nvd_security.size() + db.wild_security.size() +
+                      db.nonsecurity.size());
+}
+
+TEST_F(StoreTest, LoadMissingManifestThrows) {
+  fs::create_directories(root_);
+  EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
+}
+
+TEST_F(StoreTest, LoadMalformedManifestRowThrows) {
+  fs::create_directories(root_);
+  std::ofstream out(root_ / "manifest.csv");
+  out << store::manifest_header();
+  out << "too,few,fields\n";
+  out.close();
+  EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
+}
+
+TEST_F(StoreTest, LoadMissingPatchFileThrows) {
+  fs::create_directories(root_ / "nvd");
+  std::ofstream out(root_ / "manifest.csv");
+  out << store::manifest_header();
+  out << "deadbeef,nvd,security,1,repo,,0,0\n";
+  out.close();
+  EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
+}
+
+TEST_F(StoreTest, ExportIsIdempotent) {
+  const core::PatchDb db = small_db();
+  store::export_patchdb(db, root_);
+  const store::ExportStats again = store::export_patchdb(db, root_);
+  EXPECT_GT(again.patches_written, 0u);
+  const store::LoadedPatchDb loaded = store::load_patchdb(root_);
+  EXPECT_EQ(loaded.nvd_security.size(), db.nvd_security.size());
+}
+
+}  // namespace
+}  // namespace patchdb

@@ -1,0 +1,450 @@
+// Unit and property tests for the util module: RNG, Levenshtein, stats,
+// strings, tables, thread pool, hashing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/levenshtein.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace patchdb {
+namespace {
+
+// ---------------------------------------------------------------- RNG --
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(123);
+  util::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  util::Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntThrowsOnInvertedBounds) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, IndexZeroThrows) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealInHalfOpenUnit) {
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughlyZeroMeanUnitVariance) {
+  util::Rng rng(9);
+  std::vector<double> values(20000);
+  for (double& v : values) v = rng.normal();
+  const util::Summary s = util::summarize(values);
+  EXPECT_NEAR(s.mean, 0.0, 0.05);
+  EXPECT_NEAR(s.stddev, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  util::Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  util::Rng rng(17);
+  const auto sample = rng.sample_indices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, WeightedFollowsWeights) {
+  util::Rng rng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 8000; ++i) {
+    counts[rng.weighted(weights)]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, WeightedRejectsZeroTotal) {
+  util::Rng rng(1);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted(weights), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  util::Rng a(1);
+  util::Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+// -------------------------------------------------------- Levenshtein --
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_EQ(util::levenshtein("", ""), 0u);
+  EXPECT_EQ(util::levenshtein("abc", ""), 3u);
+  EXPECT_EQ(util::levenshtein("", "abc"), 3u);
+  EXPECT_EQ(util::levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(util::levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(util::levenshtein("abc", "abc"), 0u);
+}
+
+struct LevCase {
+  std::string a;
+  std::string b;
+};
+
+class LevenshteinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevenshteinProperty, MetricAxiomsOnRandomStrings) {
+  util::Rng rng(GetParam());
+  auto random_string = [&rng] {
+    std::string s;
+    const std::size_t n = rng.index(24);
+    for (std::size_t i = 0; i < n; ++i) {
+      s += static_cast<char>('a' + rng.index(4));
+    }
+    return s;
+  };
+  const std::string a = random_string();
+  const std::string b = random_string();
+  const std::string c = random_string();
+  const std::size_t dab = util::levenshtein(a, b);
+  const std::size_t dba = util::levenshtein(b, a);
+  const std::size_t dac = util::levenshtein(a, c);
+  const std::size_t dcb = util::levenshtein(c, b);
+  EXPECT_EQ(dab, dba);                            // symmetry
+  EXPECT_EQ(util::levenshtein(a, a), 0u);         // identity
+  EXPECT_LE(dab, dac + dcb);                      // triangle inequality
+  EXPECT_GE(dab, a.size() > b.size() ? a.size() - b.size()
+                                     : b.size() - a.size());  // lower bound
+  EXPECT_LE(dab, std::max(a.size(), b.size()));   // upper bound
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LevenshteinProperty,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+class LevenshteinBounded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevenshteinBounded, AgreesWithExactWithinBound) {
+  util::Rng rng(GetParam() * 977 + 5);
+  auto random_string = [&rng] {
+    std::string s;
+    const std::size_t n = rng.index(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      s += static_cast<char>('a' + rng.index(5));
+    }
+    return s;
+  };
+  const std::string a = random_string();
+  const std::string b = random_string();
+  const std::size_t exact = util::levenshtein(a, b);
+  for (std::size_t bound : {0u, 1u, 3u, 8u, 40u}) {
+    const std::size_t got = util::levenshtein_bounded(a, b, bound);
+    if (exact <= bound) {
+      EXPECT_EQ(got, exact) << "a=" << a << " b=" << b << " bound=" << bound;
+    } else {
+      EXPECT_GT(got, bound);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LevenshteinBounded,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(Levenshtein, NormalizedRange) {
+  EXPECT_DOUBLE_EQ(util::levenshtein_normalized("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(util::levenshtein_normalized("ab", ""), 1.0);
+  EXPECT_NEAR(util::levenshtein_normalized("kitten", "sitting"), 3.0 / 7.0, 1e-12);
+}
+
+// -------------------------------------------------------------- stats --
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const util::Summary s = util::summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const util::Summary s = util::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, WaldIntervalMatchesHandComputation) {
+  // 290/1000 at 95%: p=0.29, half-width = 1.96*sqrt(.29*.71/1000) ~ 0.0281.
+  const util::Interval ci = util::wald_interval(290, 1000);
+  EXPECT_NEAR(ci.center, 0.29, 1e-12);
+  EXPECT_NEAR(ci.half_width, 0.0281, 0.0005);
+  EXPECT_NEAR(ci.lo, 0.29 - ci.half_width, 1e-12);
+}
+
+TEST(Stats, WilsonIntervalStaysInUnit) {
+  const util::Interval lo = util::wilson_interval(0, 10);
+  const util::Interval hi = util::wilson_interval(10, 10);
+  EXPECT_GE(lo.lo, 0.0);
+  EXPECT_LE(hi.hi, 1.0);
+  EXPECT_GT(lo.hi, 0.0);  // Wilson never collapses to a point at 0/n
+  EXPECT_LT(hi.lo, 1.0);
+}
+
+TEST(Stats, ZeroTrialsYieldEmptyInterval) {
+  const util::Interval ci = util::wald_interval(0, 0);
+  EXPECT_EQ(ci.center, 0.0);
+  EXPECT_EQ(ci.half_width, 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  const std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(util::pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(util::pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateInputs) {
+  const std::vector<double> a = {1, 1, 1};
+  const std::vector<double> b = {2, 4, 6};
+  EXPECT_EQ(util::pearson(a, b), 0.0);
+  EXPECT_EQ(util::pearson({}, {}), 0.0);
+}
+
+TEST(Stats, FormatPercentCi) {
+  const util::Interval ci = util::wald_interval(29, 100);
+  EXPECT_EQ(util::format_percent_ci(ci), "29(+/-8.9)%");
+}
+
+// ------------------------------------------------------------ strings --
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = util::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitLinesHandlesTrailingNewlineAndCr) {
+  const auto lines = util::split_lines("a\r\nb\nc\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = util::split_ws("  a\t b  c ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, TrimVariants) {
+  EXPECT_EQ(util::trim("  x  "), "x");
+  EXPECT_EQ(util::trim_left("  x  "), "x  ");
+  EXPECT_EQ(util::trim_right("  x  "), "  x");
+  EXPECT_EQ(util::trim("   "), "");
+}
+
+TEST(Strings, ExtensionLowercasesAndHandlesPaths) {
+  EXPECT_EQ(util::extension("src/a.CPP"), ".cpp");
+  EXPECT_EQ(util::extension("Makefile"), "");
+  EXPECT_EQ(util::extension("a/b.c"), ".c");
+  EXPECT_EQ(util::extension(".hidden"), "");
+  EXPECT_EQ(util::extension("dir.d/file"), "");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(util::replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(util::replace_all("abc", "x", "y"), "abc");
+  EXPECT_EQ(util::replace_all("abc", "", "y"), "abc");
+}
+
+TEST(Strings, ParseSize) {
+  std::size_t v = 0;
+  EXPECT_TRUE(util::parse_size("123", v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_FALSE(util::parse_size("", v));
+  EXPECT_FALSE(util::parse_size("12a", v));
+  EXPECT_FALSE(util::parse_size("-1", v));
+}
+
+TEST(Strings, HumanCount) {
+  EXPECT_EQ(util::human_count(950), "950");
+  EXPECT_EQ(util::human_count(100000), "100K");
+  EXPECT_EQ(util::human_count(6200000), "6.2M");
+}
+
+// -------------------------------------------------------------- table --
+
+TEST(Table, RendersHeaderRowsAndNotes) {
+  util::Table t("Demo");
+  t.set_header({"A", "Bee"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"333", "4"});
+  t.add_note("a note");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("Bee"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("a note"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  util::Table t("x");
+  t.set_header({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  util::Table t("x");
+  t.set_header({"A", "B"});
+  t.add_row({"a,b", "q\"q"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(util::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(util::format_percent(0.291, 1), "29.1%");
+}
+
+// -------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  util::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t lo, std::size_t) {
+                                   if (lo == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Pool is still usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t lo, std::size_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  util::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // A nested call on the same (default) pool must not deadlock.
+      pool.parallel_for(10, [&](std::size_t a, std::size_t b) {
+        inner_total += static_cast<int>(b - a);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  util::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+// --------------------------------------------------------------- hash --
+
+TEST(Hash, Fnv1aStableAndSensitive) {
+  EXPECT_EQ(util::fnv1a64("abc"), util::fnv1a64("abc"));
+  EXPECT_NE(util::fnv1a64("abc"), util::fnv1a64("abd"));
+  EXPECT_NE(util::fnv1a64("abc"), util::fnv1a64("abc", 123));
+}
+
+TEST(Hash, CommitIdShapeAndDeterminism) {
+  const std::string id = util::commit_id("content");
+  EXPECT_EQ(id.size(), 40u);
+  EXPECT_EQ(id, util::commit_id("content"));
+  EXPECT_NE(id, util::commit_id("content2"));
+  for (char c : id) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(Hash, ToHexPadsTo16) {
+  EXPECT_EQ(util::to_hex(0), "0000000000000000");
+  EXPECT_EQ(util::to_hex(255), "00000000000000ff");
+}
+
+}  // namespace
+}  // namespace patchdb

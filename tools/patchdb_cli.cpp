@@ -1,0 +1,276 @@
+// patchdb — command-line front end for the PatchDB library.
+//
+//   patchdb build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]
+//       Build a simulated PatchDB (NVD crawl -> nearest-link augmentation
+//       -> synthesis) and export it to DIR in the release layout.
+//   patchdb stats DIR
+//       Summarize an exported dataset: component sizes, Table V type
+//       distribution, categorizer agreement.
+//   patchdb features FILE.patch [--all]
+//       Print the Table I feature vector of a patch file.
+//   patchdb categorize FILE.patch
+//       Print the Table V code-change category of a patch file.
+//   patchdb tokens FILE.patch
+//       Print the RNN token stream of a patch file.
+//   patchdb variants "CONDITION"
+//       Print the eight Fig. 5 control-flow rewrites of `if (CONDITION)`.
+//   patchdb presence FILE.patch TARGET_SOURCE_FILE
+//       Patch presence test (Sec. V-A.1): is the fix already applied in
+//       the target file? Prints patched/vulnerable/partial/unknown.
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/categorize.h"
+#include "core/patchdb.h"
+#include "core/presence.h"
+#include "diff/parse.h"
+#include "feature/features.h"
+#include "nn/encode.h"
+#include "store/export.h"
+#include "synth/variants.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace patchdb;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: patchdb <command> [args]\n"
+               "  build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
+               "  stats DIR\n"
+               "  features FILE.patch [--all]\n"
+               "  categorize FILE.patch\n"
+               "  tokens FILE.patch\n"
+               "  variants \"CONDITION\"\n"
+               "  presence FILE.patch TARGET_SOURCE_FILE\n");
+  return 2;
+}
+
+std::string read_file_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "patchdb: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Trivial --flag value parser over argv[2..].
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string value(const std::string& name, std::string fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return args_[i + 1];
+    }
+    return fallback;
+  }
+
+  std::size_t value(const std::string& name, std::size_t fallback) const {
+    const std::string raw = value(name, std::string());
+    return raw.empty() ? fallback : static_cast<std::size_t>(std::stoull(raw));
+  }
+
+  bool has(const std::string& name) const {
+    for (const std::string& a : args_) {
+      if (a == name) return true;
+    }
+    return false;
+  }
+
+  /// First argument that is not a flag or a flag value.
+  std::string positional() const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind("--", 0) == 0) {
+        ++i;  // skip the flag's value
+        continue;
+      }
+      return args_[i];
+    }
+    return {};
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+int cmd_build(const Flags& flags) {
+  const std::string out = flags.value("--out", std::string());
+  if (out.empty()) {
+    std::fprintf(stderr, "patchdb build: --out DIR is required\n");
+    return 2;
+  }
+  core::BuildOptions options;
+  options.world.repos = 40;
+  options.world.nvd_security = flags.value("--nvd", std::size_t{400});
+  options.world.wild_pool = flags.value("--wild", std::size_t{10000});
+  options.world.seed = flags.value("--seed", std::size_t{42});
+  options.augment.max_rounds = flags.value("--rounds", std::size_t{3});
+  options.synthesis.max_per_patch = flags.value("--synth", std::size_t{4});
+
+  std::printf("building PatchDB: %zu NVD CVEs, %zu wild commits, %zu rounds, seed %zu\n",
+              options.world.nvd_security, options.world.wild_pool,
+              options.augment.max_rounds,
+              static_cast<std::size_t>(options.world.seed));
+  const core::PatchDb db = core::build_patchdb(options);
+  const store::ExportStats stats = store::export_patchdb(db, out);
+
+  std::printf("exported %zu patches (%zu feature rows) to %s\n",
+              stats.patches_written, stats.feature_rows,
+              stats.root.string().c_str());
+  std::printf("  nvd: %zu  wild: %zu  nonsecurity: %zu  synthetic: %zu\n",
+              db.nvd_security.size(), db.wild_security.size(),
+              db.nonsecurity.size(), db.synthetic.size());
+  for (const core::RoundStats& round : db.rounds) {
+    std::printf("  round %zu: %zu candidates -> %zu security (%.0f%%)\n",
+                round.round, round.candidates, round.verified_security,
+                round.ratio * 100.0);
+  }
+  return 0;
+}
+
+int cmd_stats(const std::string& dir) {
+  const store::LoadedPatchDb db = store::load_patchdb(dir);
+  std::printf("dataset at %s\n", dir.c_str());
+  std::printf("  nvd security:  %zu\n", db.nvd_security.size());
+  std::printf("  wild security: %zu\n", db.wild_security.size());
+  std::printf("  nonsecurity:   %zu\n", db.nonsecurity.size());
+  std::printf("  synthetic:     %zu\n", db.synthetic.size());
+
+  std::array<std::size_t, corpus::kSecurityTypeCount> truth{};
+  std::array<std::size_t, corpus::kSecurityTypeCount> predicted{};
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  auto scan = [&](const std::vector<corpus::CommitRecord>& records) {
+    for (const corpus::CommitRecord& r : records) {
+      if (!corpus::is_security_type(r.truth.type)) continue;
+      ++total;
+      ++truth[static_cast<std::size_t>(static_cast<int>(r.truth.type)) - 1];
+      const corpus::PatchType p = core::categorize(r.patch);
+      if (corpus::is_security_type(p)) {
+        ++predicted[static_cast<std::size_t>(static_cast<int>(p)) - 1];
+      }
+      agree += (p == r.truth.type);
+    }
+  };
+  scan(db.nvd_security);
+  scan(db.wild_security);
+  if (total == 0) return 0;
+
+  util::Table table("security patch composition (Table V taxonomy)");
+  table.set_header({"ID", "Pattern", "Labeled %", "Categorizer %"});
+  for (std::size_t i = 0; i < corpus::kSecurityTypeCount; ++i) {
+    table.add_row({std::to_string(i + 1),
+                   std::string(corpus::patch_type_name(corpus::security_types()[i])),
+                   util::format_percent(static_cast<double>(truth[i]) /
+                                            static_cast<double>(total), 1),
+                   util::format_percent(static_cast<double>(predicted[i]) /
+                                            static_cast<double>(total), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("  categorizer agreement with labels: %.0f%%\n",
+              100.0 * static_cast<double>(agree) / static_cast<double>(total));
+  return 0;
+}
+
+int cmd_features(const std::string& path, bool all) {
+  const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
+  const feature::FeatureVector v = feature::extract(patch);
+  const auto names = feature::feature_names();
+  std::printf("commit %s: %zu files, %zu hunks\n", patch.commit.c_str(),
+              patch.files.size(), patch.hunk_count());
+  for (std::size_t i = 0; i < feature::kFeatureCount; ++i) {
+    if (all || v[i] != 0.0) {
+      std::printf("  %2zu  %-22s %g\n", i + 1, std::string(names[i]).c_str(), v[i]);
+    }
+  }
+  return 0;
+}
+
+int cmd_categorize(const std::string& path) {
+  const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
+  const corpus::PatchType type = core::categorize(patch);
+  std::printf("Type %d: %s\n", static_cast<int>(type),
+              std::string(corpus::patch_type_name(type)).c_str());
+  return 0;
+}
+
+int cmd_tokens(const std::string& path) {
+  const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
+  for (const std::string& token : nn::patch_tokens(patch)) {
+    std::printf("%s ", token.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_presence(const std::string& patch_path, const std::string& target_path) {
+  if (patch_path.empty() || target_path.empty()) {
+    std::fprintf(stderr, "patchdb presence: need FILE.patch and TARGET file\n");
+    return 2;
+  }
+  const diff::Patch patch = diff::parse_patch(read_file_or_die(patch_path));
+  const std::string target_text = read_file_or_die(target_path);
+  std::vector<std::string> target_lines;
+  for (std::string_view line : util::split_lines(target_text)) {
+    target_lines.emplace_back(line);
+  }
+
+  int exit_code = 0;
+  for (const diff::FileDiff& fd : patch.files) {
+    if (fd.hunks.empty()) continue;
+    const core::PresenceReport report = core::test_presence(target_lines, fd);
+    std::printf("%s: %s (%zu patched / %zu vulnerable / %zu unknown hunks)\n",
+                fd.new_path.c_str(), core::presence_name(report.verdict),
+                report.hunks_patched, report.hunks_vulnerable,
+                report.hunks_unknown);
+    if (report.verdict == core::Presence::kVulnerable) exit_code = 3;
+  }
+  return exit_code;
+}
+
+int cmd_variants(const std::string& condition) {
+  std::printf("if (%s) { ... }\n\n", condition.c_str());
+  for (synth::IfVariant v : synth::all_variants()) {
+    const synth::VariantRewrite r = synth::rewrite_if(v, condition, "  ");
+    std::printf("-- variant %d: %s\n", static_cast<int>(v), synth::variant_name(v));
+    for (const std::string& line : r.setup) std::printf("%s\n", line.c_str());
+    std::printf("%s { ... }\n\n", r.new_if_head.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  try {
+    if (command == "build") return cmd_build(flags);
+    if (command == "stats") return cmd_stats(flags.positional());
+    if (command == "features") {
+      return cmd_features(flags.positional(), flags.has("--all"));
+    }
+    if (command == "categorize") return cmd_categorize(flags.positional());
+    if (command == "tokens") return cmd_tokens(flags.positional());
+    if (command == "variants") return cmd_variants(flags.positional());
+    if (command == "presence" && argc >= 4) {
+      return cmd_presence(argv[2], argv[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "patchdb %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
