@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_features.cpp" "bench/CMakeFiles/ablation_features.dir/ablation_features.cpp.o" "gcc" "bench/CMakeFiles/ablation_features.dir/ablation_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/patchdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/patchdb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/patchdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/patchdb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/patchdb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/patchdb_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/patchdb_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/patchdb_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

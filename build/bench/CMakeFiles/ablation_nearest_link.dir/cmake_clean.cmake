@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nearest_link.dir/ablation_nearest_link.cpp.o"
+  "CMakeFiles/ablation_nearest_link.dir/ablation_nearest_link.cpp.o.d"
+  "ablation_nearest_link"
+  "ablation_nearest_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nearest_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_clone_detection.dir/ext_clone_detection.cpp.o"
+  "CMakeFiles/ext_clone_detection.dir/ext_clone_detection.cpp.o.d"
+  "ext_clone_detection"
+  "ext_clone_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clone_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_text_mining.dir/ext_text_mining.cpp.o"
+  "CMakeFiles/ext_text_mining.dir/ext_text_mining.cpp.o.d"
+  "ext_text_mining"
+  "ext_text_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_text_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_type_classification.dir/ext_type_classification.cpp.o"
+  "CMakeFiles/ext_type_classification.dir/ext_type_classification.cpp.o.d"
+  "ext_type_classification"
+  "ext_type_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_type_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

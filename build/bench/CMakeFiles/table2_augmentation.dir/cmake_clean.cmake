@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_augmentation.dir/table2_augmentation.cpp.o"
+  "CMakeFiles/table2_augmentation.dir/table2_augmentation.cpp.o.d"
+  "table2_augmentation"
+  "table2_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_synthetic.dir/table4_synthetic.cpp.o"
+  "CMakeFiles/table4_synthetic.dir/table4_synthetic.cpp.o.d"
+  "table4_synthetic"
+  "table4_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_composition.dir/table5_composition.cpp.o"
+  "CMakeFiles/table5_composition.dir/table5_composition.cpp.o.d"
+  "table5_composition"
+  "table5_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

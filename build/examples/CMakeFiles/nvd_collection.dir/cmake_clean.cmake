@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvd_collection.dir/nvd_collection.cpp.o"
+  "CMakeFiles/nvd_collection.dir/nvd_collection.cpp.o.d"
+  "nvd_collection"
+  "nvd_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvd_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

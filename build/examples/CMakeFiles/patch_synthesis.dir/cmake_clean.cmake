@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_synthesis.dir/patch_synthesis.cpp.o"
+  "CMakeFiles/patch_synthesis.dir/patch_synthesis.cpp.o.d"
+  "patch_synthesis"
+  "patch_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silent_patch_hunter.dir/silent_patch_hunter.cpp.o"
+  "CMakeFiles/silent_patch_hunter.dir/silent_patch_hunter.cpp.o.d"
+  "silent_patch_hunter"
+  "silent_patch_hunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silent_patch_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

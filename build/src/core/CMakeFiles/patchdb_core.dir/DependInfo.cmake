@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augment.cpp" "src/core/CMakeFiles/patchdb_core.dir/augment.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/augment.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/patchdb_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/categorize.cpp" "src/core/CMakeFiles/patchdb_core.dir/categorize.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/categorize.cpp.o.d"
+  "/root/repo/src/core/clone.cpp" "src/core/CMakeFiles/patchdb_core.dir/clone.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/clone.cpp.o.d"
+  "/root/repo/src/core/dedupe.cpp" "src/core/CMakeFiles/patchdb_core.dir/dedupe.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/dedupe.cpp.o.d"
+  "/root/repo/src/core/distance.cpp" "src/core/CMakeFiles/patchdb_core.dir/distance.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/distance.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/patchdb_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/nearest_link.cpp" "src/core/CMakeFiles/patchdb_core.dir/nearest_link.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/nearest_link.cpp.o.d"
+  "/root/repo/src/core/patchdb.cpp" "src/core/CMakeFiles/patchdb_core.dir/patchdb.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/patchdb.cpp.o.d"
+  "/root/repo/src/core/presence.cpp" "src/core/CMakeFiles/patchdb_core.dir/presence.cpp.o" "gcc" "src/core/CMakeFiles/patchdb_core.dir/presence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/feature/CMakeFiles/patchdb_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/patchdb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/patchdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/patchdb_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/patchdb_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

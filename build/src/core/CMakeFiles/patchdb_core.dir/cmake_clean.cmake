@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_core.dir/augment.cpp.o"
+  "CMakeFiles/patchdb_core.dir/augment.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/baselines.cpp.o"
+  "CMakeFiles/patchdb_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/categorize.cpp.o"
+  "CMakeFiles/patchdb_core.dir/categorize.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/clone.cpp.o"
+  "CMakeFiles/patchdb_core.dir/clone.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/dedupe.cpp.o"
+  "CMakeFiles/patchdb_core.dir/dedupe.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/distance.cpp.o"
+  "CMakeFiles/patchdb_core.dir/distance.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/incremental.cpp.o"
+  "CMakeFiles/patchdb_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/nearest_link.cpp.o"
+  "CMakeFiles/patchdb_core.dir/nearest_link.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/patchdb.cpp.o"
+  "CMakeFiles/patchdb_core.dir/patchdb.cpp.o.d"
+  "CMakeFiles/patchdb_core.dir/presence.cpp.o"
+  "CMakeFiles/patchdb_core.dir/presence.cpp.o.d"
+  "libpatchdb_core.a"
+  "libpatchdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

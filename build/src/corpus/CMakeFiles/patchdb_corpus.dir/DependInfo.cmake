@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/codegen.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/codegen.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/codegen.cpp.o.d"
+  "/root/repo/src/corpus/gitlog.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/gitlog.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/gitlog.cpp.o.d"
+  "/root/repo/src/corpus/mutate.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/mutate.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/mutate.cpp.o.d"
+  "/root/repo/src/corpus/nvd.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/nvd.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/nvd.cpp.o.d"
+  "/root/repo/src/corpus/oracle.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/oracle.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/oracle.cpp.o.d"
+  "/root/repo/src/corpus/repo.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/repo.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/repo.cpp.o.d"
+  "/root/repo/src/corpus/taxonomy.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/taxonomy.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/corpus/world.cpp" "src/corpus/CMakeFiles/patchdb_corpus.dir/world.cpp.o" "gcc" "src/corpus/CMakeFiles/patchdb_corpus.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diff/CMakeFiles/patchdb_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/patchdb_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

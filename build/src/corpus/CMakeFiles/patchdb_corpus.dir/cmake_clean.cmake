@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_corpus.dir/codegen.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/codegen.cpp.o.d"
+  "CMakeFiles/patchdb_corpus.dir/gitlog.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/gitlog.cpp.o.d"
+  "CMakeFiles/patchdb_corpus.dir/mutate.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/mutate.cpp.o.d"
+  "CMakeFiles/patchdb_corpus.dir/nvd.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/nvd.cpp.o.d"
+  "CMakeFiles/patchdb_corpus.dir/oracle.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/oracle.cpp.o.d"
+  "CMakeFiles/patchdb_corpus.dir/repo.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/repo.cpp.o.d"
+  "CMakeFiles/patchdb_corpus.dir/taxonomy.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/patchdb_corpus.dir/world.cpp.o"
+  "CMakeFiles/patchdb_corpus.dir/world.cpp.o.d"
+  "libpatchdb_corpus.a"
+  "libpatchdb_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diff/apply.cpp" "src/diff/CMakeFiles/patchdb_diff.dir/apply.cpp.o" "gcc" "src/diff/CMakeFiles/patchdb_diff.dir/apply.cpp.o.d"
+  "/root/repo/src/diff/filter.cpp" "src/diff/CMakeFiles/patchdb_diff.dir/filter.cpp.o" "gcc" "src/diff/CMakeFiles/patchdb_diff.dir/filter.cpp.o.d"
+  "/root/repo/src/diff/fuzz_apply.cpp" "src/diff/CMakeFiles/patchdb_diff.dir/fuzz_apply.cpp.o" "gcc" "src/diff/CMakeFiles/patchdb_diff.dir/fuzz_apply.cpp.o.d"
+  "/root/repo/src/diff/myers.cpp" "src/diff/CMakeFiles/patchdb_diff.dir/myers.cpp.o" "gcc" "src/diff/CMakeFiles/patchdb_diff.dir/myers.cpp.o.d"
+  "/root/repo/src/diff/parse.cpp" "src/diff/CMakeFiles/patchdb_diff.dir/parse.cpp.o" "gcc" "src/diff/CMakeFiles/patchdb_diff.dir/parse.cpp.o.d"
+  "/root/repo/src/diff/patch.cpp" "src/diff/CMakeFiles/patchdb_diff.dir/patch.cpp.o" "gcc" "src/diff/CMakeFiles/patchdb_diff.dir/patch.cpp.o.d"
+  "/root/repo/src/diff/render.cpp" "src/diff/CMakeFiles/patchdb_diff.dir/render.cpp.o" "gcc" "src/diff/CMakeFiles/patchdb_diff.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/patchdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

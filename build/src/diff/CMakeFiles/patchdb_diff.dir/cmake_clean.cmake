@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_diff.dir/apply.cpp.o"
+  "CMakeFiles/patchdb_diff.dir/apply.cpp.o.d"
+  "CMakeFiles/patchdb_diff.dir/filter.cpp.o"
+  "CMakeFiles/patchdb_diff.dir/filter.cpp.o.d"
+  "CMakeFiles/patchdb_diff.dir/fuzz_apply.cpp.o"
+  "CMakeFiles/patchdb_diff.dir/fuzz_apply.cpp.o.d"
+  "CMakeFiles/patchdb_diff.dir/myers.cpp.o"
+  "CMakeFiles/patchdb_diff.dir/myers.cpp.o.d"
+  "CMakeFiles/patchdb_diff.dir/parse.cpp.o"
+  "CMakeFiles/patchdb_diff.dir/parse.cpp.o.d"
+  "CMakeFiles/patchdb_diff.dir/patch.cpp.o"
+  "CMakeFiles/patchdb_diff.dir/patch.cpp.o.d"
+  "CMakeFiles/patchdb_diff.dir/render.cpp.o"
+  "CMakeFiles/patchdb_diff.dir/render.cpp.o.d"
+  "libpatchdb_diff.a"
+  "libpatchdb_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/features.cpp" "src/feature/CMakeFiles/patchdb_feature.dir/features.cpp.o" "gcc" "src/feature/CMakeFiles/patchdb_feature.dir/features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diff/CMakeFiles/patchdb_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/patchdb_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/patchdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

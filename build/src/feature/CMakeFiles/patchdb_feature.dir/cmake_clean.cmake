@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_feature.dir/features.cpp.o"
+  "CMakeFiles/patchdb_feature.dir/features.cpp.o.d"
+  "libpatchdb_feature.a"
+  "libpatchdb_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_lang.dir/abstract.cpp.o"
+  "CMakeFiles/patchdb_lang.dir/abstract.cpp.o.d"
+  "CMakeFiles/patchdb_lang.dir/lexer.cpp.o"
+  "CMakeFiles/patchdb_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/patchdb_lang.dir/parser.cpp.o"
+  "CMakeFiles/patchdb_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/patchdb_lang.dir/taxonomy.cpp.o"
+  "CMakeFiles/patchdb_lang.dir/taxonomy.cpp.o.d"
+  "libpatchdb_lang.a"
+  "libpatchdb_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bayes.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/bayes.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/bayes.cpp.o.d"
+  "/root/repo/src/ml/crossval.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/crossval.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/crossval.cpp.o.d"
+  "/root/repo/src/ml/data.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/data.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/data.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/ensemble.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/multiclass.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/multiclass.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/multiclass.cpp.o.d"
+  "/root/repo/src/ml/normalize.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/normalize.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/normalize.cpp.o.d"
+  "/root/repo/src/ml/smo.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/smo.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/smo.cpp.o.d"
+  "/root/repo/src/ml/smote.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/smote.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/smote.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/patchdb_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/patchdb_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/patchdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_ml.dir/bayes.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/bayes.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/crossval.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/crossval.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/data.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/data.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/ensemble.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/ensemble.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/forest.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/knn.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/linear.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/metrics.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/multiclass.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/multiclass.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/normalize.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/normalize.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/smo.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/smo.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/smote.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/smote.cpp.o.d"
+  "CMakeFiles/patchdb_ml.dir/tree.cpp.o"
+  "CMakeFiles/patchdb_ml.dir/tree.cpp.o.d"
+  "libpatchdb_ml.a"
+  "libpatchdb_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

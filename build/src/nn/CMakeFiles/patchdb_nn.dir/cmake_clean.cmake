@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_nn.dir/encode.cpp.o"
+  "CMakeFiles/patchdb_nn.dir/encode.cpp.o.d"
+  "CMakeFiles/patchdb_nn.dir/gru.cpp.o"
+  "CMakeFiles/patchdb_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/patchdb_nn.dir/vocab.cpp.o"
+  "CMakeFiles/patchdb_nn.dir/vocab.cpp.o.d"
+  "libpatchdb_nn.a"
+  "libpatchdb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_store.dir/export.cpp.o"
+  "CMakeFiles/patchdb_store.dir/export.cpp.o.d"
+  "libpatchdb_store.a"
+  "libpatchdb_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

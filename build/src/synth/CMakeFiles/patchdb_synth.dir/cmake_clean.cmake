@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_synth.dir/synthesize.cpp.o"
+  "CMakeFiles/patchdb_synth.dir/synthesize.cpp.o.d"
+  "CMakeFiles/patchdb_synth.dir/variants.cpp.o"
+  "CMakeFiles/patchdb_synth.dir/variants.cpp.o.d"
+  "libpatchdb_synth.a"
+  "libpatchdb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

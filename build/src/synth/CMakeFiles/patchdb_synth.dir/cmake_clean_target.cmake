@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpatchdb_synth.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_text.dir/textmine.cpp.o"
+  "CMakeFiles/patchdb_text.dir/textmine.cpp.o.d"
+  "libpatchdb_text.a"
+  "libpatchdb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

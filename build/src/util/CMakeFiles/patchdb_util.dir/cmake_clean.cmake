@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_util.dir/levenshtein.cpp.o"
+  "CMakeFiles/patchdb_util.dir/levenshtein.cpp.o.d"
+  "CMakeFiles/patchdb_util.dir/log.cpp.o"
+  "CMakeFiles/patchdb_util.dir/log.cpp.o.d"
+  "CMakeFiles/patchdb_util.dir/stats.cpp.o"
+  "CMakeFiles/patchdb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/patchdb_util.dir/strings.cpp.o"
+  "CMakeFiles/patchdb_util.dir/strings.cpp.o.d"
+  "CMakeFiles/patchdb_util.dir/table.cpp.o"
+  "CMakeFiles/patchdb_util.dir/table.cpp.o.d"
+  "CMakeFiles/patchdb_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/patchdb_util.dir/thread_pool.cpp.o.d"
+  "libpatchdb_util.a"
+  "libpatchdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

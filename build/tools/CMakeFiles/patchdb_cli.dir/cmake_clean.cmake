@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchdb_cli.dir/patchdb_cli.cpp.o"
+  "CMakeFiles/patchdb_cli.dir/patchdb_cli.cpp.o.d"
+  "patchdb"
+  "patchdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
