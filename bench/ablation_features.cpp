@@ -56,14 +56,19 @@ int main(int argc, char** argv) {
   const feature::FeatureMatrix pool = bench::features_of(pool_ptrs);
   const std::vector<double> base_weights = core::maxabs_weights(sec, pool);
 
-  auto precision_with = [&](const std::vector<double>& weights) {
-    const core::DistanceMatrix d = core::distance_matrix(sec, pool, weights);
+  auto precision_in = [&](const feature::FeatureMatrix& s,
+                          const feature::FeatureMatrix& p,
+                          const std::vector<double>& weights) {
+    const core::DistanceMatrix d = core::distance_matrix(s, p, weights);
     const core::LinkResult link = core::nearest_link_search(d);
     std::size_t hits = 0;
     for (std::size_t idx : link.candidate) {
       hits += world.oracle.truth(pool_ptrs[idx]->patch.commit).is_security;
     }
     return static_cast<double>(hits) / static_cast<double>(link.candidate.size());
+  };
+  auto precision_with = [&](const std::vector<double>& weights) {
+    return precision_in(sec, pool, weights);
   };
 
   const double full = precision_with(base_weights);
@@ -85,7 +90,39 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.render().c_str());
   std::printf("  'drop family' near the full-space %s means redundancy; a high\n"
-              "  'family alone' marks the load-bearing families\n",
+              "  'family alone' marks the load-bearing families\n\n",
               util::format_percent(full, 1).c_str());
+
+  // ---- syntactic vs semantic feature space.
+  // The extended space appends 12 CFG/checker dimensions (features.h,
+  // indices 60-71). Compare the nearest link search in the 60-dim Table I
+  // space against the 72-dim extension, and against the 12 semantic
+  // dimensions alone.
+  {
+    const feature::FeatureMatrix sec_x =
+        bench::features_of(seed_ptrs, feature::FeatureSpace::kSemantic);
+    const feature::FeatureMatrix pool_x =
+        bench::features_of(pool_ptrs, feature::FeatureSpace::kSemantic);
+    const std::vector<double> weights_x = core::maxabs_weights(sec_x, pool_x);
+
+    std::vector<double> semantic_only = weights_x;
+    for (std::size_t j = 0; j < feature::kFeatureCount; ++j) semantic_only[j] = 0.0;
+
+    util::Table space_table("Feature space ablation (greedy nearest link)");
+    space_table.set_header({"Space", "Dims", "Precision"});
+    space_table.add_row({"syntactic (Table I)",
+                         std::to_string(feature::kFeatureCount),
+                         util::format_percent(full, 1)});
+    space_table.add_row({"syntactic + semantic",
+                         std::to_string(feature::kExtendedFeatureCount),
+                         util::format_percent(precision_in(sec_x, pool_x, weights_x), 1)});
+    space_table.add_row({"semantic alone",
+                         std::to_string(feature::kSemanticFeatureCount),
+                         util::format_percent(precision_in(sec_x, pool_x, semantic_only), 1)});
+    std::printf("%s", space_table.render().c_str());
+    std::printf("  semantic dims encode what the patch fixed (checker diffs, CFG\n"
+                "  deltas) rather than how it is written; alone they are coarse,\n"
+                "  appended they refine ties between syntactically similar commits\n");
+  }
   return 0;
 }

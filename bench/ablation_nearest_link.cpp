@@ -109,7 +109,8 @@ int main(int argc, char** argv) {
       std::vector<double> var(feature::kFeatureCount, 0.0);
       const double n = static_cast<double>(sec.rows() + pool.rows());
       auto accumulate_mean = [&](const feature::FeatureMatrix& m) {
-        for (const auto& row : m) {
+        for (std::size_t i = 0; i < m.rows(); ++i) {
+          const std::span<const double> row = m[i];
           for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
             mean[j] += row[j];
           }
@@ -119,7 +120,8 @@ int main(int argc, char** argv) {
       accumulate_mean(pool);
       for (double& m : mean) m /= n;
       auto accumulate_var = [&](const feature::FeatureMatrix& m) {
-        for (const auto& row : m) {
+        for (std::size_t i = 0; i < m.rows(); ++i) {
+          const std::span<const double> row = m[i];
           for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
             const double d = row[j] - mean[j];
             var[j] += d * d;
@@ -152,7 +154,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(fraction * static_cast<double>(pool.rows()));
       if (n < sec.rows()) continue;
       feature::FeatureMatrix sub(n);
-      for (std::size_t i = 0; i < n; ++i) sub[i] = pool[i];
+      for (std::size_t i = 0; i < n; ++i) sub.set_row(i, pool[i]);
       const core::DistanceMatrix d = core::distance_matrix(sec, sub);
       const core::LinkResult link = core::nearest_link_search(d);
       table.add_row({util::human_count(n),

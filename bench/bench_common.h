@@ -48,23 +48,32 @@ inline std::vector<const corpus::CommitRecord*> as_pointers(
   return out;
 }
 
-/// Table I features of a record set as a FeatureMatrix.
+/// Table I features of a record set as a FeatureMatrix (optionally in
+/// the extended semantic space).
 inline feature::FeatureMatrix features_of(
-    const std::vector<const corpus::CommitRecord*>& records) {
+    const std::vector<const corpus::CommitRecord*>& records,
+    feature::FeatureSpace space = feature::FeatureSpace::kSyntactic) {
   std::vector<diff::Patch> patches;
   patches.reserve(records.size());
   for (const corpus::CommitRecord* r : records) patches.push_back(r->patch);
-  return feature::extract_all(patches);
+  return feature::extract_all(patches, space);
 }
 
-/// Labeled Table I feature dataset (label from ground truth).
+/// Labeled feature dataset (label from ground truth).
 inline ml::Dataset feature_dataset(
-    const std::vector<const corpus::CommitRecord*>& records) {
+    const std::vector<const corpus::CommitRecord*>& records,
+    feature::FeatureSpace space = feature::FeatureSpace::kSyntactic) {
   ml::Dataset data;
   for (const corpus::CommitRecord* r : records) {
-    const feature::FeatureVector v = feature::extract(r->patch);
-    data.push_back(std::vector<double>(v.begin(), v.end()),
-                   r->truth.is_security ? 1 : 0);
+    std::vector<double> row;
+    if (space == feature::FeatureSpace::kSyntactic) {
+      const feature::FeatureVector v = feature::extract(r->patch);
+      row.assign(v.begin(), v.end());
+    } else {
+      const feature::ExtendedFeatureVector v = feature::extract_extended(r->patch);
+      row.assign(v.begin(), v.end());
+    }
+    data.push_back(std::move(row), r->truth.is_security ? 1 : 0);
   }
   return data;
 }

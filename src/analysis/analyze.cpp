@@ -1,0 +1,110 @@
+#include "analysis/analyze.h"
+
+#include <map>
+#include <utility>
+
+namespace patchdb::analysis {
+
+namespace {
+
+/// Multiset of diagnostic keys -> representative diagnostic + count.
+struct KeyedDiagnostics {
+  std::map<std::string, std::pair<Diagnostic, std::size_t>> by_key;
+
+  explicit KeyedDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+    for (const Diagnostic& d : diagnostics) {
+      auto [it, inserted] = by_key.try_emplace(d.key(), d, 0u);
+      ++it->second.second;
+    }
+  }
+};
+
+void diff_reports(const FileReport& before, const FileReport& after,
+                  PatchAnalysis& out) {
+  const KeyedDiagnostics b(before.diagnostics);
+  const KeyedDiagnostics a(after.diagnostics);
+
+  for (const auto& [key, entry] : b.by_key) {
+    const auto it = a.by_key.find(key);
+    const std::size_t after_count = it == a.by_key.end() ? 0 : it->second.second;
+    if (entry.second > after_count) {
+      const std::size_t n = entry.second - after_count;
+      out.resolved_by_checker[static_cast<std::size_t>(entry.first.checker)] += n;
+      out.resolved.push_back(entry.first);
+    }
+  }
+  for (const auto& [key, entry] : a.by_key) {
+    const auto it = b.by_key.find(key);
+    const std::size_t before_count = it == b.by_key.end() ? 0 : it->second.second;
+    if (entry.second > before_count) {
+      const std::size_t n = entry.second - before_count;
+      out.introduced_by_checker[static_cast<std::size_t>(entry.first.checker)] += n;
+      out.introduced.push_back(entry.first);
+    }
+  }
+
+  out.net_blocks = static_cast<long>(after.blocks) - static_cast<long>(before.blocks);
+  out.net_edges = static_cast<long>(after.edges) - static_cast<long>(before.edges);
+  out.net_cyclomatic =
+      static_cast<long>(after.cyclomatic) - static_cast<long>(before.cyclomatic);
+}
+
+}  // namespace
+
+FileReport analyze_source(std::string_view source) {
+  FileReport report;
+  report.cfgs = build_cfgs(source);
+  for (const Cfg& cfg : report.cfgs) {
+    report.blocks += cfg.blocks.size();
+    report.edges += cfg.edge_count();
+    report.cyclomatic += cfg.cyclomatic();
+    std::vector<Diagnostic> diagnostics = run_checkers(cfg);
+    report.diagnostics.insert(report.diagnostics.end(),
+                              std::make_move_iterator(diagnostics.begin()),
+                              std::make_move_iterator(diagnostics.end()));
+  }
+  return report;
+}
+
+PatchAnalysis analyze_versions(std::string_view before_source,
+                               std::string_view after_source) {
+  PatchAnalysis out;
+  out.before = analyze_source(before_source);
+  out.after = analyze_source(after_source);
+  diff_reports(out.before, out.after, out);
+  return out;
+}
+
+std::string reconstruct_fragment(const diff::FileDiff& file_diff, bool after) {
+  std::string out;
+  for (const diff::Hunk& hunk : file_diff.hunks) {
+    // The section line often carries the enclosing function signature;
+    // prepend it so the fragment parser can attribute the hunk.
+    if (!hunk.section.empty()) {
+      out += hunk.section;
+      out += '\n';
+    }
+    for (const diff::Line& line : hunk.lines) {
+      if (after && line.kind == diff::LineKind::kRemoved) continue;
+      if (!after && line.kind == diff::LineKind::kAdded) continue;
+      out += line.text;
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+PatchAnalysis analyze_patch(const diff::Patch& patch) {
+  std::string before_source;
+  std::string after_source;
+  for (const diff::FileDiff& fd : patch.files) {
+    const std::string& path = fd.new_path.empty() ? fd.old_path : fd.new_path;
+    if (!diff::is_cpp_path(path)) continue;
+    before_source += reconstruct_fragment(fd, /*after=*/false);
+    after_source += reconstruct_fragment(fd, /*after=*/true);
+  }
+  return analyze_versions(before_source, after_source);
+}
+
+}  // namespace patchdb::analysis

@@ -1,0 +1,60 @@
+// Whole-file and whole-patch analysis: run the CFG construction and the
+// checker registry over a source fragment, and — the patch-level payoff
+// — over both the BEFORE and AFTER version of every patched file,
+// diffing the two diagnostic sets. A diagnostic present before and gone
+// after is *resolved* (the patch fixed that defect shape); one present
+// only after is *introduced*. The deltas feed the 12 semantic feature
+// dimensions (feature/features.h, FeatureSpace::kSemantic) and the
+// Table V categorizer tie-breaks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/checkers.h"
+#include "diff/patch.h"
+
+namespace patchdb::analysis {
+
+/// Analysis of one source fragment (one version of one or more files).
+struct FileReport {
+  std::vector<Cfg> cfgs;
+  std::vector<Diagnostic> diagnostics;
+  std::size_t blocks = 0;      // totals across cfgs
+  std::size_t edges = 0;
+  std::size_t cyclomatic = 0;  // sum of per-function complexity
+};
+
+FileReport analyze_source(std::string_view source);
+
+/// Patch-level result: BEFORE vs AFTER reports plus their diff.
+struct PatchAnalysis {
+  FileReport before;
+  FileReport after;
+  std::vector<Diagnostic> resolved;    // in BEFORE, absent in AFTER
+  std::vector<Diagnostic> introduced;  // in AFTER, absent in BEFORE
+  std::array<std::size_t, kCheckerCount> resolved_by_checker{};
+  std::array<std::size_t, kCheckerCount> introduced_by_checker{};
+  // CFG shape deltas, AFTER minus BEFORE (signed).
+  long net_blocks = 0;
+  long net_edges = 0;
+  long net_cyclomatic = 0;
+};
+
+/// Analyze two explicit versions of the same code.
+PatchAnalysis analyze_versions(std::string_view before_source,
+                               std::string_view after_source);
+
+/// Reconstruct the BEFORE (context + removed) and AFTER (context + added)
+/// fragments of every C/C++ file in the patch and analyze both sides.
+PatchAnalysis analyze_patch(const diff::Patch& patch);
+
+/// The BEFORE or AFTER fragment of one file diff, as analyze_patch sees
+/// it (exposed for tests and the CLI).
+std::string reconstruct_fragment(const diff::FileDiff& file_diff, bool after);
+
+}  // namespace patchdb::analysis

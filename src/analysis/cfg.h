@@ -1,0 +1,65 @@
+// Per-function control-flow graph construction over the token stream.
+// This is the semantic layer the paper's Table I feature space lacks:
+// parser.h recovers function and `if` extents, and this module turns a
+// function body into basic blocks with branch/loop/jump edges so the
+// dataflow passes (dataflow.h) and the security checkers (checkers.h)
+// can reason about execution order instead of raw diff lines. Like the
+// lexer, construction is total: dirty or truncated patch fragments
+// produce a (possibly degenerate) graph, never an error.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace patchdb::analysis {
+
+/// One statement as scheduled into a basic block: its tokens (comments
+/// and preprocessor directives stripped) plus source position.
+struct Statement {
+  std::vector<lang::Token> tokens;
+  std::size_t line = 0;       // line of the first token
+  bool is_condition = false;  // the controlling expression of if/while/for/do/switch
+
+  /// Token texts joined with single spaces (for messages and tests).
+  std::string text() const;
+};
+
+struct BasicBlock {
+  std::size_t id = 0;
+  std::vector<Statement> statements;
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> preds;  // derived from succs when the graph is sealed
+};
+
+/// Control-flow graph of one function (or of a bare fragment). Block 0
+/// is the synthetic entry, block 1 the synthetic exit; both are empty.
+struct Cfg {
+  static constexpr std::size_t kEntry = 0;
+  static constexpr std::size_t kExit = 1;
+
+  std::string function;                      // "<fragment>" outside any function
+  std::vector<std::string> pointer_params;   // parameters declared with '*'
+  std::vector<BasicBlock> blocks;
+
+  std::size_t edge_count() const noexcept;
+  /// McCabe complexity E - N + 2, clamped to >= 1.
+  std::size_t cyclomatic() const noexcept;
+};
+
+/// Build the CFG of one function body given its tokens (everything
+/// between and including the outermost braces, or any brace-less
+/// statement run).
+Cfg build_cfg(std::span<const lang::Token> tokens, std::string function_name);
+
+/// CFGs of every function definition in a source fragment. Tokens not
+/// covered by any recognized function are collected into a trailing
+/// "<fragment>" CFG so hunk fragments without a visible signature still
+/// get analyzed.
+std::vector<Cfg> build_cfgs(std::string_view source);
+
+}  // namespace patchdb::analysis

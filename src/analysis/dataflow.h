@@ -1,0 +1,79 @@
+// Dataflow over the CFG: per-statement def/use fact extraction plus the
+// iterative fixpoint passes the checkers consume. All facts are variable
+// names (strings) — the same level of abstraction the paper's 60
+// features work at, but now path-aware: "x was freed and not reassigned
+// on some path reaching this use", "p was never null-tested before this
+// dereference", and so on.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace patchdb::analysis {
+
+using FactSet = std::set<std::string>;
+
+/// Security-relevant facts of one statement, recovered from its tokens.
+struct StatementFacts {
+  FactSet defs;          // variables assigned (=, compound assign, ++/--)
+  FactSet uses;          // identifiers read (excludes call names and decl types)
+  FactSet decls;         // variables declared here
+  FactSet decls_uninit;  // declared without an initializer
+  FactSet derefs;        // *p, p->f, p[i] dereference the pointer p
+  FactSet index_vars;    // buf[i]: the index expression's variables (i)
+  FactSet freed;         // arguments of free-like calls
+  FactSet alloc_defs;    // x = malloc/kmalloc/strdup/... : x
+  FactSet addr_taken;    // &x (x may be initialized through the pointer)
+  FactSet null_tested;   // condition: x == NULL, !x, if (x), assert(x)
+  FactSet bound_tested;  // condition: x < n, n >= len, ... (both sides)
+  std::vector<std::string> calls;  // called function names, in order
+  /// Single-spaced text of each argument of each call, aligned with `calls`.
+  std::vector<std::vector<std::string>> call_args;
+};
+
+StatementFacts facts_for(const Statement& stmt);
+
+/// Per-block fact sets at block entry (index = block id). Exit sets are
+/// recomputed on demand by replaying the block's statements.
+struct FlowSets {
+  std::vector<FactSet> entry;
+};
+
+/// Everything the checkers need for one function.
+struct DataflowResult {
+  /// facts[block][statement] aligned with cfg.blocks[b].statements.
+  std::vector<std::vector<StatementFacts>> facts;
+  FlowSets maybe_uninit;     // declared, no assignment yet on some path
+  FlowSets maybe_freed;      // freed, not reassigned, on some path
+  FlowSets unchecked_alloc;  // allocation result never null-tested yet
+  FlowSets unguarded_params; // pointer params with no null test yet
+  FlowSets bound_guarded;    // vars constrained by a relational condition
+  /// Classic backward liveness: variables live at block exit.
+  std::vector<FactSet> live_out;
+};
+
+DataflowResult analyze_dataflow(const Cfg& cfg);
+
+/// The five forward sets as a block-local cursor: checkers replay a
+/// block statement-by-statement, inspecting the state *before* each
+/// statement, using exactly the transfer functions the solver used.
+struct FlowState {
+  FactSet maybe_uninit;
+  FactSet maybe_freed;
+  FactSet unchecked_alloc;
+  FactSet unguarded_params;
+  FactSet bound_guarded;
+};
+
+FlowState state_at_entry(const DataflowResult& dataflow, std::size_t block);
+void advance(FlowState& state, const StatementFacts& facts);
+
+/// Vocabulary shared by the fact extractor and the checkers.
+bool is_allocator(std::string_view name);
+bool is_deallocator(std::string_view name);
+
+}  // namespace patchdb::analysis

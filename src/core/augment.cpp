@@ -16,7 +16,7 @@ feature::FeatureMatrix extract_records(
   util::default_pool().parallel_for(
       records.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          matrix[i] = feature::extract(records[i]->patch);
+          matrix.set_row(i, feature::extract(records[i]->patch));
         }
       });
   return matrix;
@@ -67,7 +67,8 @@ RoundStats AugmentationLoop::run_round() {
     if (verdict[i] != 0) {
       ++stats.verified_security;
       security_.push_back(record);
-      security_features_.push_back(feature::extract(record->patch));
+      const feature::FeatureVector v = feature::extract(record->patch);
+      security_features_.push_back(v);
     } else {
       nonsecurity_.push_back(record);
     }
@@ -84,14 +85,14 @@ RoundStats AugmentationLoop::run_round() {
   for (std::size_t idx : order) {
     const std::size_t last = pool_.size() - 1;
     pool_[idx] = pool_[last];
-    pool_features_[idx] = pool_features_[last];
+    if (idx != last) pool_features_.set_row(idx, pool_features_[last]);
     pool_.pop_back();
     // FeatureMatrix has no pop_back; emulate by rebuilding at the end.
     // (see below)
   }
   // Rebuild the feature matrix to the shrunken size.
-  feature::FeatureMatrix shrunk(pool_.size());
-  for (std::size_t i = 0; i < pool_.size(); ++i) shrunk[i] = pool_features_[i];
+  feature::FeatureMatrix shrunk(pool_.size(), pool_features_.cols());
+  for (std::size_t i = 0; i < pool_.size(); ++i) shrunk.set_row(i, pool_features_[i]);
   pool_features_ = std::move(shrunk);
 
   util::log_info() << "augment round " << stats.round << ": " << stats.candidates

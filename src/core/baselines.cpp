@@ -22,7 +22,8 @@ namespace {
 std::vector<std::vector<double>> matrix_rows(const feature::FeatureMatrix& m) {
   std::vector<std::vector<double>> rows;
   rows.reserve(m.rows());
-  for (const feature::FeatureVector& v : m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const std::span<const double> v = m[i];
     rows.emplace_back(v.begin(), v.end());
   }
   return rows;
@@ -46,17 +47,15 @@ NormalizedTask normalize_task(const feature::FeatureMatrix& security,
   scaler.fit(all);
 
   NormalizedTask task;
-  for (const feature::FeatureVector& v : security) {
-    task.train.push_back(scaler.transform(std::vector<double>(v.begin(), v.end())), 1);
+  for (std::size_t i = 0; i < security.rows(); ++i) {
+    task.train.push_back(scaler.transform(security[i]), 1);
   }
-  for (const feature::FeatureVector& v : nonsecurity) {
-    task.train.push_back(scaler.transform(std::vector<double>(v.begin(), v.end())), 0);
+  for (std::size_t i = 0; i < nonsecurity.rows(); ++i) {
+    task.train.push_back(scaler.transform(nonsecurity[i]), 0);
   }
-  task.pool = feature::FeatureMatrix(pool.rows());
+  task.pool = feature::FeatureMatrix(pool.rows(), pool.cols());
   for (std::size_t i = 0; i < pool.rows(); ++i) {
-    const std::vector<double> t =
-        scaler.transform(std::vector<double>(pool[i].begin(), pool[i].end()));
-    std::copy(t.begin(), t.end(), task.pool[i].begin());
+    task.pool.set_row(i, scaler.transform(pool[i]));
   }
   return task;
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyze.h"
+#include "analysis/checkers.h"
 #include "lang/lexer.h"
 #include "lang/taxonomy.h"
 #include "util/strings.h"
@@ -103,6 +105,43 @@ bool pure_move(const ChangeView& view) {
     if (n != 0) return false;
   }
   return true;
+}
+
+/// Last-resort tie-break from checker evidence: if the patch resolves
+/// diagnostics of some checker, map that checker to the Table V type the
+/// fix corresponds to. Returns kOther when no checker fired.
+corpus::PatchType semantic_tiebreak(const diff::Patch& patch) {
+  using corpus::PatchType;
+  const analysis::PatchAnalysis pa = analysis::analyze_patch(patch);
+
+  std::size_t best_checker = analysis::kCheckerCount;
+  std::size_t best_resolved = 0;
+  for (std::size_t c = 0; c < analysis::kCheckerCount; ++c) {
+    const std::size_t net =
+        pa.resolved_by_checker[c] > pa.introduced_by_checker[c]
+            ? pa.resolved_by_checker[c] - pa.introduced_by_checker[c]
+            : 0;
+    if (net > best_resolved) {
+      best_resolved = net;
+      best_checker = c;
+    }
+  }
+  if (best_checker == analysis::kCheckerCount) return PatchType::kOther;
+
+  switch (static_cast<analysis::CheckerId>(best_checker)) {
+    case analysis::CheckerId::kMissingNullGuard:
+      return PatchType::kNullCheck;
+    case analysis::CheckerId::kMissingBoundsCheck:
+    case analysis::CheckerId::kIntOverflowSize:
+      return PatchType::kBoundCheck;
+    case analysis::CheckerId::kUncheckedAlloc:
+    case analysis::CheckerId::kUninitUse:
+    case analysis::CheckerId::kFormatString:
+      return PatchType::kSanityCheck;
+    case analysis::CheckerId::kUseAfterFree:
+      return PatchType::kVarValue;
+  }
+  return PatchType::kOther;
 }
 
 }  // namespace
@@ -254,11 +293,9 @@ corpus::PatchType categorize(const diff::Patch& patch) {
     }
   }
 
-  // Type 5 fallback: pure value tweaks (same shape, different constant).
-  if (view.added.size() == view.removed.size() && !view.added.empty()) {
-    return PatchType::kOther;
-  }
-  return PatchType::kOther;
+  // Every syntactic rule came up empty; let the CFG checkers vote before
+  // giving up on the patch as kOther.
+  return semantic_tiebreak(patch);
 }
 
 }  // namespace patchdb::core

@@ -12,7 +12,12 @@
 
 namespace patchdb::core {
 
-/// Classify a patch's code change into a Table V category.
+/// Classify a patch's code change into a Table V category. When the
+/// syntactic rule cascade is inconclusive (would fall through to
+/// kOther), the CFG-based checkers break the tie: a patch whose AFTER
+/// version resolves e.g. a missing-null-guard diagnostic is classified
+/// as an added null check even if the guard's text eluded the line
+/// rules.
 corpus::PatchType categorize(const diff::Patch& patch);
 
 }  // namespace patchdb::core

@@ -9,28 +9,32 @@ namespace patchdb::core {
 
 std::vector<double> maxabs_weights(const feature::FeatureMatrix& security,
                                    const feature::FeatureMatrix& wild) {
-  std::vector<double> max_abs(feature::kFeatureCount, 0.0);
-  auto scan = [&max_abs](const feature::FeatureMatrix& m) {
-    for (const feature::FeatureVector& row : m) {
-      for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+  const std::size_t dims = security.rows() > 0 ? security.cols() : wild.cols();
+  if (wild.rows() > 0 && security.rows() > 0 && wild.cols() != dims) {
+    throw std::invalid_argument("maxabs_weights: feature-space width mismatch");
+  }
+  std::vector<double> max_abs(dims, 0.0);
+  auto scan = [&max_abs, dims](const feature::FeatureMatrix& m) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const std::span<const double> row = m[i];
+      for (std::size_t j = 0; j < dims; ++j) {
         max_abs[j] = std::max(max_abs[j], std::fabs(row[j]));
       }
     }
   };
   scan(security);
   scan(wild);
-  std::vector<double> weights(feature::kFeatureCount, 1.0);
-  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+  std::vector<double> weights(dims, 1.0);
+  for (std::size_t j = 0; j < dims; ++j) {
     if (max_abs[j] > 0.0) weights[j] = 1.0 / max_abs[j];
   }
   return weights;
 }
 
-double weighted_distance(const feature::FeatureVector& a,
-                         const feature::FeatureVector& b,
+double weighted_distance(std::span<const double> a, std::span<const double> b,
                          std::span<const double> weights) {
   double total = 0.0;
-  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+  for (std::size_t j = 0; j < weights.size(); ++j) {
     const double d = (a[j] - b[j]) * weights[j];
     total += d * d;
   }
@@ -40,7 +44,8 @@ double weighted_distance(const feature::FeatureVector& a,
 DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
                                const feature::FeatureMatrix& wild,
                                std::span<const double> weights) {
-  if (weights.size() != feature::kFeatureCount) {
+  const std::size_t dims = weights.size();
+  if (dims != security.cols() || dims != wild.cols()) {
     throw std::invalid_argument("distance_matrix: bad weight vector");
   }
   const std::size_t m = security.rows();
@@ -48,25 +53,26 @@ DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
   DistanceMatrix matrix(m, n);
 
   // Pre-scale both sides once so the inner loop is a plain L2.
-  auto scale = [&weights](const feature::FeatureMatrix& in) {
-    std::vector<std::array<float, feature::kFeatureCount>> out(in.rows());
+  auto scale = [&weights, dims](const feature::FeatureMatrix& in) {
+    std::vector<float> out(in.rows() * dims);
     for (std::size_t i = 0; i < in.rows(); ++i) {
-      for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
-        out[i][j] = static_cast<float>(in[i][j] * weights[j]);
+      const std::span<const double> row = in[i];
+      for (std::size_t j = 0; j < dims; ++j) {
+        out[i * dims + j] = static_cast<float>(row[j] * weights[j]);
       }
     }
     return out;
   };
-  const auto sec = scale(security);
-  const auto wld = scale(wild);
+  const std::vector<float> sec = scale(security);
+  const std::vector<float> wld = scale(wild);
 
   util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
-      const auto& a = sec[r];
+      const float* a = sec.data() + r * dims;
       for (std::size_t c = 0; c < n; ++c) {
-        const auto& b = wld[c];
+        const float* b = wld.data() + c * dims;
         float total = 0.0f;
-        for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+        for (std::size_t j = 0; j < dims; ++j) {
           const float d = a[j] - b[j];
           total += d * d;
         }

@@ -42,7 +42,8 @@ class DistanceMatrix {
 
 /// Max-abs weights learned over the union of both feature sets
 /// (w_j = 1/max|a_j|, Section III-B.2). Dimensions that are identically
-/// zero get weight 1.
+/// zero get weight 1. Both matrices must share a width; the weight
+/// vector has that width, so the wider kSemantic space just works.
 std::vector<double> maxabs_weights(const feature::FeatureMatrix& security,
                                    const feature::FeatureMatrix& wild);
 
@@ -55,9 +56,9 @@ DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
 DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
                                const feature::FeatureMatrix& wild);
 
-/// Weighted Euclidean distance between two raw feature vectors.
-double weighted_distance(const feature::FeatureVector& a,
-                         const feature::FeatureVector& b,
+/// Weighted Euclidean distance between two raw feature vectors (any
+/// width; all three spans must agree).
+double weighted_distance(std::span<const double> a, std::span<const double> b,
                          std::span<const double> weights);
 
 }  // namespace patchdb::core

@@ -11,19 +11,15 @@ namespace patchdb::core {
 
 namespace {
 
-std::array<float, feature::kFeatureCount> weigh(const feature::FeatureVector& v,
-                                                std::span<const double> weights) {
-  std::array<float, feature::kFeatureCount> out;
-  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+void weigh_into(float* out, std::span<const double> v, std::span<const double> weights) {
+  for (std::size_t j = 0; j < weights.size(); ++j) {
     out[j] = static_cast<float>(v[j] * weights[j]);
   }
-  return out;
 }
 
-float sq_distance(const std::array<float, feature::kFeatureCount>& a,
-                  const std::array<float, feature::kFeatureCount>& b) {
+float sq_distance(const float* a, const float* b, std::size_t dims) {
   float total = 0.0f;
-  for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+  for (std::size_t j = 0; j < dims; ++j) {
     const float d = a[j] - b[j];
     total += d * d;
   }
@@ -34,25 +30,37 @@ float sq_distance(const std::array<float, feature::kFeatureCount>& a,
 
 void IncrementalLinker::set_pool(const feature::FeatureMatrix& pool,
                                  std::span<const double> weights) {
-  if (weights.size() != feature::kFeatureCount) {
+  if (weights.size() != pool.cols()) {
     throw std::invalid_argument("IncrementalLinker: bad weight vector");
   }
+  if (seed_count_ > 0 && pool.cols() != dims_) {
+    throw std::invalid_argument("IncrementalLinker: feature-space width mismatch");
+  }
+  dims_ = pool.cols();
   weights_.assign(weights.begin(), weights.end());
-  pool_.resize(pool.rows());
-  for (std::size_t i = 0; i < pool.rows(); ++i) pool_[i] = weigh(pool[i], weights);
-  alive_.assign(pool.rows(), 1);
-  live_count_ = pool.rows();
+  pool_count_ = pool.rows();
+  pool_.resize(pool_count_ * dims_);
+  for (std::size_t i = 0; i < pool_count_; ++i) {
+    weigh_into(pool_.data() + i * dims_, pool[i], weights);
+  }
+  alive_.assign(pool_count_, 1);
+  live_count_ = pool_count_;
   // All caches are invalid against a new pool.
-  cache_.assign(seeds_.size(), {});
-  cache_valid_.assign(seeds_.size(), 0);
+  cache_.assign(seed_count_, {});
+  cache_valid_.assign(seed_count_, 0);
 }
 
 void IncrementalLinker::add_seeds(const feature::FeatureMatrix& seeds) {
   if (weights_.empty()) {
     throw std::logic_error("IncrementalLinker: set_pool before add_seeds");
   }
+  if (seeds.cols() != dims_) {
+    throw std::invalid_argument("IncrementalLinker: feature-space width mismatch");
+  }
   for (std::size_t i = 0; i < seeds.rows(); ++i) {
-    seeds_.push_back(weigh(seeds[i], weights_));
+    seeds_.resize(seeds_.size() + dims_);
+    weigh_into(seeds_.data() + seed_count_ * dims_, seeds[i], weights_);
+    ++seed_count_;
     cache_.emplace_back();
     cache_valid_.push_back(0);
   }
@@ -60,16 +68,16 @@ void IncrementalLinker::add_seeds(const feature::FeatureMatrix& seeds) {
 
 void IncrementalLinker::compute_cache(std::size_t seed_index) {
   ++row_scans_;
-  const auto& s = seeds_[seed_index];
+  const float* s = seed_row(seed_index);
   // Max-heap of the k smallest squared distances (pair ordered by first).
   std::vector<Neighbor> heap;
   heap.reserve(k_ + 1);
   auto cmp = [](const Neighbor& a, const Neighbor& b) {
     return a.distance < b.distance;  // max-heap on distance
   };
-  for (std::size_t i = 0; i < pool_.size(); ++i) {
+  for (std::size_t i = 0; i < pool_count_; ++i) {
     if (!alive_[i]) continue;
-    const float d = sq_distance(s, pool_[i]);
+    const float d = sq_distance(s, pool_row(i), dims_);
     if (heap.size() < k_) {
       heap.push_back(Neighbor{d, static_cast<std::uint32_t>(i)});
       std::push_heap(heap.begin(), heap.end(), cmp);
@@ -85,7 +93,7 @@ void IncrementalLinker::compute_cache(std::size_t seed_index) {
 }
 
 LinkResult IncrementalLinker::link() {
-  const std::size_t m = seeds_.size();
+  const std::size_t m = seed_count_;
   if (m == 0) return {};
   if (live_count_ < m) {
     throw std::invalid_argument("IncrementalLinker: pool smaller than seed set");
@@ -106,7 +114,7 @@ LinkResult IncrementalLinker::link() {
     row_scans_ = scans_before + missing.size();
   }
 
-  std::vector<char> used(pool_.size(), 0);
+  std::vector<char> used(pool_count_, 0);
   std::vector<char> assigned(m, 0);
   std::vector<std::size_t> cursor(m, 0);
   constexpr float kInf = std::numeric_limits<float>::max();
@@ -145,17 +153,17 @@ LinkResult IncrementalLinker::link() {
     } else {
       // Cache exhausted: full row scan over live, unused pool entries.
       ++row_scans_;
-      chosen = pool_.size();
+      chosen = pool_count_;
       chosen_distance = kInf;
-      for (std::size_t i = 0; i < pool_.size(); ++i) {
+      for (std::size_t i = 0; i < pool_count_; ++i) {
         if (!alive_[i] || used[i]) continue;
-        const float d = sq_distance(seeds_[best_seed], pool_[i]);
+        const float d = sq_distance(seed_row(best_seed), pool_row(i), dims_);
         if (d < chosen_distance) {
           chosen_distance = d;
           chosen = i;
         }
       }
-      if (chosen == pool_.size()) {
+      if (chosen == pool_count_) {
         throw std::logic_error("IncrementalLinker: pool exhausted mid-link");
       }
     }

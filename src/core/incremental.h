@@ -40,7 +40,7 @@ class IncrementalLinker {
   /// Remove pool entries (by pool index) after verification.
   void remove_from_pool(std::span<const std::size_t> pool_indices);
 
-  std::size_t seed_count() const noexcept { return seeds_.size(); }
+  std::size_t seed_count() const noexcept { return seed_count_; }
   std::size_t pool_live() const noexcept { return live_count_; }
 
   /// Total full-row distance computations performed (instrumentation for
@@ -54,13 +54,22 @@ class IncrementalLinker {
   };
 
   void compute_cache(std::size_t seed_index);
+  const float* pool_row(std::size_t i) const noexcept {
+    return pool_.data() + i * dims_;
+  }
+  const float* seed_row(std::size_t i) const noexcept {
+    return seeds_.data() + i * dims_;
+  }
 
   std::size_t k_;
+  std::size_t dims_ = feature::kFeatureCount;  // set by set_pool
   std::vector<double> weights_;
-  std::vector<std::array<float, feature::kFeatureCount>> pool_;  // weighted
+  std::vector<float> pool_;  // weighted, row-major pool_count x dims_
+  std::size_t pool_count_ = 0;
   std::vector<char> alive_;
   std::size_t live_count_ = 0;
-  std::vector<std::array<float, feature::kFeatureCount>> seeds_;  // weighted
+  std::vector<float> seeds_;  // weighted, row-major seed_count x dims_
+  std::size_t seed_count_ = 0;
   std::vector<std::vector<Neighbor>> cache_;  // ascending distance
   std::vector<char> cache_valid_;
   std::size_t row_scans_ = 0;

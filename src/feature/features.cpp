@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "analysis/analyze.h"
 #include "lang/abstract.h"
 #include "lang/lexer.h"
 #include "lang/taxonomy.h"
@@ -36,6 +37,21 @@ constexpr std::array<std::string_view, kFeatureCount> kNames = {
     "affected_funcs", "affected_funcs_pct",
 };
 
+constexpr std::array<std::string_view, kSemanticFeatureCount> kSemanticNames = {
+    "sem_resolved_diags",
+    "sem_introduced_diags",
+    "sem_net_unchecked_alloc",
+    "sem_net_missing_bounds",
+    "sem_net_use_after_free",
+    "sem_net_int_overflow",
+    "sem_net_null_guard",
+    "sem_net_uninit_use",
+    "sem_net_format_string",
+    "sem_cfg_net_blocks",
+    "sem_cfg_net_edges",
+    "sem_cfg_net_cyclomatic",
+};
+
 /// Write the added/removed/total/net quad for one syntactic category.
 void write_quad(FeatureVector& v, std::size_t base, double added, double removed) {
   v[base] = added;
@@ -47,6 +63,18 @@ void write_quad(FeatureVector& v, std::size_t base, double added, double removed
 }  // namespace
 
 std::span<const std::string_view> feature_names() { return kNames; }
+
+std::span<const std::string_view> feature_names(FeatureSpace space) {
+  if (space == FeatureSpace::kSyntactic) return kNames;
+  static const std::array<std::string_view, kExtendedFeatureCount> kAll = [] {
+    std::array<std::string_view, kExtendedFeatureCount> all{};
+    std::copy(kNames.begin(), kNames.end(), all.begin());
+    std::copy(kSemanticNames.begin(), kSemanticNames.end(),
+              all.begin() + kFeatureCount);
+    return all;
+  }();
+  return kAll;
+}
 
 FeatureVector extract(const diff::Patch& patch, const RepoContext& repo) {
   FeatureVector v{};
@@ -171,12 +199,39 @@ FeatureVector extract(const diff::Patch& patch, const RepoContext& repo) {
 
 FeatureVector extract(const diff::Patch& patch) { return extract(patch, RepoContext{}); }
 
-FeatureMatrix extract_all(std::span<const diff::Patch> patches) {
-  FeatureMatrix matrix(patches.size());
+ExtendedFeatureVector extract_extended(const diff::Patch& patch,
+                                       const RepoContext& repo) {
+  ExtendedFeatureVector e{};
+  const FeatureVector base = extract(patch, repo);
+  std::copy(base.begin(), base.end(), e.begin());
+
+  const analysis::PatchAnalysis pa = analysis::analyze_patch(patch);
+  e[60] = static_cast<double>(pa.resolved.size());
+  e[61] = static_cast<double>(pa.introduced.size());
+  for (std::size_t c = 0; c < analysis::kCheckerCount; ++c) {
+    e[62 + c] = static_cast<double>(pa.resolved_by_checker[c]) -
+                static_cast<double>(pa.introduced_by_checker[c]);
+  }
+  e[69] = static_cast<double>(pa.net_blocks);
+  e[70] = static_cast<double>(pa.net_edges);
+  e[71] = static_cast<double>(pa.net_cyclomatic);
+  return e;
+}
+
+ExtendedFeatureVector extract_extended(const diff::Patch& patch) {
+  return extract_extended(patch, RepoContext{});
+}
+
+FeatureMatrix extract_all(std::span<const diff::Patch> patches, FeatureSpace space) {
+  FeatureMatrix matrix(patches.size(), feature_dims(space));
   util::default_pool().parallel_for(
       patches.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          matrix[i] = extract(patches[i]);
+          if (space == FeatureSpace::kSyntactic) {
+            matrix.set_row(i, extract(patches[i]));
+          } else {
+            matrix.set_row(i, extract_extended(patches[i]));
+          }
         }
       });
   return matrix;

@@ -1,6 +1,7 @@
-// The 60-dimension syntactic feature space of Table I. This is the
-// representation the nearest link search, the ML baselines (Table III)
-// and the Random Forest classifier (Table VI) all operate on.
+// The feature space of Table I, plus the semantic extension. The 60
+// syntactic dimensions are the representation the nearest link search,
+// the ML baselines (Table III) and the Random Forest classifier
+// (Table VI) all operate on.
 //
 // Layout (0-based index -> Table I row):
 //   0      #1    changed lines (added + removed)
@@ -26,6 +27,18 @@
 //
 // "total" = added + removed; "net" = added - removed (may be negative —
 // the paper's max-abs weighting preserves sign, Section III-B.2).
+//
+// FeatureSpace::kSemantic appends 12 dimensions computed by the
+// src/analysis CFG + checker layer from the BEFORE -> AFTER diagnostic
+// diff (see analysis/analyze.h):
+//   60     diagnostics resolved by the patch (total)
+//   61     diagnostics introduced by the patch (total)
+//   62-68  per-checker net resolved (resolved - introduced), in CheckerId
+//          order: unchecked-alloc, missing-bounds-check, use-after-free,
+//          int-overflow-size, missing-null-guard, uninit-use, format-string
+//   69-71  CFG shape deltas, AFTER minus BEFORE: basic blocks, edges,
+//          cyclomatic complexity
+// The default space stays bit-identical to the original 60 dimensions.
 #pragma once
 
 #include <array>
@@ -39,11 +52,25 @@
 namespace patchdb::feature {
 
 inline constexpr std::size_t kFeatureCount = 60;
+inline constexpr std::size_t kSemanticFeatureCount = 12;
+inline constexpr std::size_t kExtendedFeatureCount =
+    kFeatureCount + kSemanticFeatureCount;
+
+/// Which representation a pipeline stage runs on. kSyntactic is the
+/// paper's Table I space and the default everywhere; kSemantic appends
+/// the 12 analysis-derived dimensions.
+enum class FeatureSpace { kSyntactic, kSemantic };
+
+constexpr std::size_t feature_dims(FeatureSpace space) noexcept {
+  return space == FeatureSpace::kSyntactic ? kFeatureCount : kExtendedFeatureCount;
+}
 
 using FeatureVector = std::array<double, kFeatureCount>;
+using ExtendedFeatureVector = std::array<double, kExtendedFeatureCount>;
 
-/// Human-readable names, index-aligned with FeatureVector.
-std::span<const std::string_view> feature_names();
+/// Human-readable names, index-aligned with the vector of the space.
+std::span<const std::string_view> feature_names();  // the 60 Table I names
+std::span<const std::string_view> feature_names(FeatureSpace space);
 
 /// Optional repository-level context. Percent-of-repo features (58, 60 in
 /// Table I numbering) need the denominator; without it the extractor
@@ -58,28 +85,48 @@ struct RepoContext {
 FeatureVector extract(const diff::Patch& patch);
 FeatureVector extract(const diff::Patch& patch, const RepoContext& repo);
 
-/// Row-major feature matrix for a set of patches.
+/// Extract the extended vector: dimensions 0-59 are bit-identical to
+/// extract(), 60-71 come from the BEFORE/AFTER checker diff.
+ExtendedFeatureVector extract_extended(const diff::Patch& patch);
+ExtendedFeatureVector extract_extended(const diff::Patch& patch,
+                                       const RepoContext& repo);
+
+/// Row-major feature matrix for a set of patches. Width is fixed per
+/// matrix (one FeatureSpace), chosen at construction.
 class FeatureMatrix {
  public:
   FeatureMatrix() = default;
-  explicit FeatureMatrix(std::size_t rows) : data_(rows) {}
+  explicit FeatureMatrix(std::size_t rows, std::size_t cols = kFeatureCount)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
-  void push_back(const FeatureVector& row) { data_.push_back(row); }
+  void push_back(std::span<const double> row) {
+    if (rows_ == 0 && data_.empty()) cols_ = row.size();
+    data_.insert(data_.end(), row.begin(), row.end());
+    ++rows_;
+  }
 
-  std::size_t rows() const noexcept { return data_.size(); }
-  static constexpr std::size_t cols() noexcept { return kFeatureCount; }
+  void set_row(std::size_t i, std::span<const double> row) {
+    std::copy(row.begin(), row.end(), data_.begin() + static_cast<std::ptrdiff_t>(i * cols_));
+  }
 
-  FeatureVector& operator[](std::size_t i) noexcept { return data_[i]; }
-  const FeatureVector& operator[](std::size_t i) const noexcept { return data_[i]; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
 
-  auto begin() const noexcept { return data_.begin(); }
-  auto end() const noexcept { return data_.end(); }
+  std::span<double> operator[](std::size_t i) noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> operator[](std::size_t i) const noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
 
  private:
-  std::vector<FeatureVector> data_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = kFeatureCount;
+  std::vector<double> data_;
 };
 
 /// Extract features for many patches (parallel over the default pool).
-FeatureMatrix extract_all(std::span<const diff::Patch> patches);
+FeatureMatrix extract_all(std::span<const diff::Patch> patches,
+                          FeatureSpace space = FeatureSpace::kSyntactic);
 
 }  // namespace patchdb::feature

@@ -38,8 +38,9 @@ TEST(Distance, WeightsNormalizeToUnitMaxAbs) {
   const std::vector<double> w = core::maxabs_weights(a, b);
   ASSERT_EQ(w.size(), feature::kFeatureCount);
   // After weighting, every |value| <= 1.
-  for (const auto& m : {a, b}) {
-    for (const feature::FeatureVector& row : m) {
+  for (const feature::FeatureMatrix* m : {&a, &b}) {
+    for (std::size_t i = 0; i < m->rows(); ++i) {
+      const std::span<const double> row = (*m)[i];
       for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
         EXPECT_LE(std::fabs(row[j] * w[j]), 1.0 + 1e-9);
       }
@@ -63,9 +64,9 @@ TEST(Distance, MatrixMatchesScalarFunction) {
 
 TEST(Distance, IdenticalVectorsHaveZeroDistance) {
   feature::FeatureMatrix a(1);
-  a[0].fill(3.0);
+  std::fill(a[0].begin(), a[0].end(), 3.0);
   feature::FeatureMatrix b(1);
-  b[0].fill(3.0);
+  std::fill(b[0].begin(), b[0].end(), 3.0);
   const core::DistanceMatrix d = core::distance_matrix(a, b);
   EXPECT_NEAR(d.at(0, 0), 0.0, 1e-9);
 }

@@ -1,6 +1,7 @@
 // Tests for the 60-dimension Table I feature extractor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "corpus/mutate.h"
@@ -166,8 +167,10 @@ TEST(Features, ExtractAllMatchesSingleExtraction) {
   }
   const feature::FeatureMatrix matrix = feature::extract_all(patches);
   ASSERT_EQ(matrix.rows(), patches.size());
+  ASSERT_EQ(matrix.cols(), feature::kFeatureCount);
   for (std::size_t i = 0; i < patches.size(); ++i) {
-    EXPECT_EQ(matrix[i], feature::extract(patches[i]));
+    const feature::FeatureVector v = feature::extract(patches[i]);
+    EXPECT_TRUE(std::equal(matrix[i].begin(), matrix[i].end(), v.begin()));
   }
 }
 

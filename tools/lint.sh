@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the first-party sources using the compile database
+# of an existing build directory.
+#
+#   tools/lint.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# BUILD_DIR defaults to ./build. The build must have been configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo's default configure does
+# this) so clang-tidy sees the real flags. Exits nonzero when clang-tidy
+# reports any diagnostic, so it can gate CI.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "lint.sh: ${tidy_bin} not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 127
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint.sh: ${build_dir}/compile_commands.json missing." >&2
+  echo "  configure with: cmake -B '${build_dir}' -S '${repo_root}' -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
+  -name '*.cpp' | sort)
+
+echo "lint.sh: clang-tidy over ${#sources[@]} files (config: ${repo_root}/.clang-tidy)"
+"${tidy_bin}" -p "${build_dir}" --quiet "$@" "${sources[@]}"

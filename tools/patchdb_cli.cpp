@@ -6,8 +6,12 @@
 //   patchdb stats DIR
 //       Summarize an exported dataset: component sizes, Table V type
 //       distribution, categorizer agreement.
-//   patchdb features FILE.patch [--all]
-//       Print the Table I feature vector of a patch file.
+//   patchdb features FILE.patch [--all] [--semantic]
+//       Print the Table I feature vector of a patch file (--semantic
+//       appends the 12 CFG/checker dimensions).
+//   patchdb analyze FILE.patch [--unchanged]
+//       Run the CFG security checkers on the BEFORE and AFTER versions
+//       of each patched file and report resolved/introduced diagnostics.
 //   patchdb categorize FILE.patch
 //       Print the Table V code-change category of a patch file.
 //   patchdb tokens FILE.patch
@@ -25,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyze.h"
+#include "analysis/report.h"
 #include "core/categorize.h"
 #include "core/patchdb.h"
 #include "core/presence.h"
@@ -45,7 +51,8 @@ int usage() {
                "usage: patchdb <command> [args]\n"
                "  build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
                "  stats DIR\n"
-               "  features FILE.patch [--all]\n"
+               "  features FILE.patch [--all] [--semantic]\n"
+               "  analyze FILE.patch [--unchanged]\n"
                "  categorize FILE.patch\n"
                "  tokens FILE.patch\n"
                "  variants \"CONDITION\"\n"
@@ -183,17 +190,37 @@ int cmd_stats(const std::string& dir) {
   return 0;
 }
 
-int cmd_features(const std::string& path, bool all) {
+int cmd_features(const std::string& path, bool all, bool semantic) {
   const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
-  const feature::FeatureVector v = feature::extract(patch);
-  const auto names = feature::feature_names();
+  const feature::FeatureSpace space = semantic ? feature::FeatureSpace::kSemantic
+                                               : feature::FeatureSpace::kSyntactic;
+  std::vector<double> v;
+  if (semantic) {
+    const feature::ExtendedFeatureVector e = feature::extract_extended(patch);
+    v.assign(e.begin(), e.end());
+  } else {
+    const feature::FeatureVector e = feature::extract(patch);
+    v.assign(e.begin(), e.end());
+  }
+  const auto names = feature::feature_names(space);
   std::printf("commit %s: %zu files, %zu hunks\n", patch.commit.c_str(),
               patch.files.size(), patch.hunk_count());
-  for (std::size_t i = 0; i < feature::kFeatureCount; ++i) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
     if (all || v[i] != 0.0) {
-      std::printf("  %2zu  %-22s %g\n", i + 1, std::string(names[i]).c_str(), v[i]);
+      std::printf("  %2zu  %-24s %g\n", i + 1, std::string(names[i]).c_str(), v[i]);
     }
   }
+  return 0;
+}
+
+int cmd_analyze(const std::string& path, bool show_unchanged) {
+  const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
+  const analysis::PatchAnalysis pa = analysis::analyze_patch(patch);
+  std::printf("commit %s: %zu files, %zu hunks\n", patch.commit.c_str(),
+              patch.files.size(), patch.hunk_count());
+  analysis::ReportOptions options;
+  options.show_unchanged = show_unchanged;
+  std::printf("%s", analysis::render_report(pa, options).c_str());
   return 0;
 }
 
@@ -260,7 +287,11 @@ int main(int argc, char** argv) {
     if (command == "build") return cmd_build(flags);
     if (command == "stats") return cmd_stats(flags.positional());
     if (command == "features") {
-      return cmd_features(flags.positional(), flags.has("--all"));
+      return cmd_features(flags.positional(), flags.has("--all"),
+                          flags.has("--semantic"));
+    }
+    if (command == "analyze") {
+      return cmd_analyze(flags.positional(), flags.has("--unchanged"));
     }
     if (command == "categorize") return cmd_categorize(flags.positional());
     if (command == "tokens") return cmd_tokens(flags.positional());
