@@ -38,8 +38,9 @@ constexpr Family kFamilies[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Ablation — Table I feature families in nearest link", scale);
+  bench::Session session(
+      "Ablation — Table I feature families in nearest link", argc, argv);
+  const double scale = session.scale();
 
   corpus::WorldConfig config;
   config.repos = 40;
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
                           const std::vector<double>& weights) {
     const core::DistanceMatrix d = core::distance_matrix(s, p, weights);
     const core::LinkResult link = core::nearest_link_search(d);
+    session.add_items(link.candidate.size());
     std::size_t hits = 0;
     for (std::size_t idx : link.candidate) {
       hits += world.oracle.truth(pool_ptrs[idx]->patch.commit).is_security;

@@ -9,7 +9,6 @@
 //   3. Search-range scaling — candidate precision as the pool grows
 //      (the paper's "larger search range enables a higher ratio" claim,
 //      measured densely rather than at two points).
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -22,7 +21,6 @@
 namespace {
 
 using namespace patchdb;
-using Clock = std::chrono::steady_clock;
 
 double precision_of(const corpus::World& world,
                     const std::vector<const corpus::CommitRecord*>& pool,
@@ -35,15 +33,12 @@ double precision_of(const corpus::World& world,
   return static_cast<double>(hits) / static_cast<double>(candidates.size());
 }
 
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Ablation — nearest link design choices", scale);
+  bench::Session session(
+      "Ablation — nearest link design choices", argc, argv);
+  const double scale = session.scale();
 
   corpus::WorldConfig config;
   config.repos = 40;
@@ -68,9 +63,10 @@ int main(int argc, char** argv) {
                       "Precision", "Time (ms)"});
 
     auto report = [&](const char* name, auto&& solver) {
-      const auto start = Clock::now();
-      const core::LinkResult link = solver(d);
-      const double elapsed = ms_since(start);
+      core::LinkResult link;
+      const double elapsed =
+          bench::timed_ms("ablation.assignment", [&] { link = solver(d); });
+      session.add_items(link.candidate.size());
       const std::set<std::size_t> distinct(link.candidate.begin(),
                                            link.candidate.end());
       table.add_row({name, std::to_string(link.candidate.size()),
@@ -178,10 +174,12 @@ int main(int argc, char** argv) {
     {
       feature::FeatureMatrix seeds = sec;
       for (std::size_t r = 0; r < rounds; ++r) {
-        const auto start = Clock::now();
-        const core::DistanceMatrix d = core::distance_matrix(seeds, pool, weights);
-        const core::LinkResult link = core::nearest_link_search(d);
-        batch_ms += ms_since(start);
+        core::LinkResult link;
+        batch_ms += bench::timed_ms("ablation.batch_round", [&] {
+          const core::DistanceMatrix d =
+              core::distance_matrix(seeds, pool, weights);
+          link = core::nearest_link_search(d);
+        });
         // Grow the seed set by the round's security finds.
         for (std::size_t idx : link.candidate) {
           if (world.oracle.truth(pool_ptrs[idx]->patch.commit).is_security) {
@@ -199,9 +197,9 @@ int main(int argc, char** argv) {
       linker.set_pool(pool, weights);
       linker.add_seeds(sec);
       for (std::size_t r = 0; r < rounds; ++r) {
-        const auto start = Clock::now();
-        const core::LinkResult link = linker.link();
-        incremental_ms += ms_since(start);
+        core::LinkResult link;
+        incremental_ms += bench::timed_ms("ablation.incremental_round",
+                                          [&] { link = linker.link(); });
         feature::FeatureMatrix found(0);
         for (std::size_t idx : link.candidate) {
           if (world.oracle.truth(pool_ptrs[idx]->patch.commit).is_security) {
@@ -209,9 +207,8 @@ int main(int argc, char** argv) {
           }
         }
         linker.remove_from_pool(link.candidate);
-        const auto add_start = Clock::now();
-        linker.add_seeds(found);
-        incremental_ms += ms_since(add_start);
+        incremental_ms += bench::timed_ms("ablation.incremental_add",
+                                          [&] { linker.add_seeds(found); });
       }
       scans = linker.row_scans();
     }

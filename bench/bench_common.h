@@ -7,9 +7,11 @@
 // one machine in minutes; pass 5 to run at paper scale.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "corpus/repo.h"
@@ -19,6 +21,7 @@
 #include "nn/encode.h"
 #include "nn/gru.h"
 #include "nn/vocab.h"
+#include "obs/obs.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -136,6 +139,85 @@ inline void print_header(const std::string& title, double scale) {
   std::printf("scale multiplier: %.2f (pass a number as argv[1] to change; 5 = paper scale)\n",
               scale);
   std::printf("================================================================\n\n");
+}
+
+/// `--metrics-out FILE` (either `--metrics-out FILE` or
+/// `--metrics-out=FILE`, any argv position). Empty when absent.
+inline std::string parse_metrics_out(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      return std::string(arg.substr(std::string_view("--metrics-out=").size()));
+    }
+  }
+  return {};
+}
+
+/// Per-bench observability session. Construct it first thing in main():
+/// it parses the scale and `--metrics-out`, prints the bench header, and
+/// installs an obs::ObsSession so every instrumented pipeline stage the
+/// bench touches records into one registry. Call add_items() with the
+/// bench's natural unit of work; finish() (implicit in the destructor)
+/// prints the one-line summary — items, wall ms, items/s — straight
+/// from the registry and writes the full RunReport JSON when
+/// `--metrics-out` was given.
+class Session {
+ public:
+  Session(const std::string& title, int argc, char** argv)
+      : scale_(parse_scale(argc, argv)),
+        metrics_out_(parse_metrics_out(argc, argv)),
+        obs_(title) {
+    print_header(title, scale_);
+  }
+  ~Session() { finish(); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  double scale() const noexcept { return scale_; }
+
+  /// Count `n` units of bench work (counter `bench.items`).
+  void add_items(std::size_t n) { obs::counter_add("bench.items", n); }
+
+  obs::RunReport report() const { return obs_.report(); }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    const obs::RunReport report = obs_.report();
+    const std::uint64_t items = report.metrics.counter("bench.items");
+    const double rate =
+        report.wall_ms > 0.0
+            ? static_cast<double>(items) / (report.wall_ms / 1000.0)
+            : 0.0;
+    std::printf("[bench] %s: %llu items in %.1f ms (%.0f items/s)\n",
+                obs_.name().c_str(), static_cast<unsigned long long>(items),
+                report.wall_ms, rate);
+    if (!metrics_out_.empty()) {
+      obs::write_report_file(report, metrics_out_);
+      std::printf("[bench] metrics written to %s\n", metrics_out_.c_str());
+    }
+  }
+
+ private:
+  double scale_;
+  std::string metrics_out_;
+  obs::ObsSession obs_;
+  bool finished_ = false;
+};
+
+/// Run `fn` under a trace span and return its wall time in milliseconds
+/// (replacement for the per-bench hand-rolled Clock/ms_since timers).
+template <typename F>
+inline double timed_ms(const char* span_name, F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  {
+    obs::ScopedSpan span(span_name);
+    fn();
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace patchdb::bench

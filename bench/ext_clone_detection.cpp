@@ -23,8 +23,9 @@ using namespace patchdb;
 }
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Extension — vulnerable clone detection (Sec. V-A.1)", scale);
+  bench::Session session(
+      "Extension — vulnerable clone detection (Sec. V-A.1)", argc, argv);
+  const double scale = session.scale();
 
   // Security patches with snapshots: the BEFORE version is the
   // vulnerable code we will re-plant (renamed) in the target codebase.
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
          ""});
   }
 
+  session.add_items(codebase.size());
   std::size_t total_vulnerable = 0;
   for (const TargetFile& f : codebase) total_vulnerable += f.vulnerable;
   std::printf("target codebase: %zu files (%zu with planted vulnerable clones)\n\n",

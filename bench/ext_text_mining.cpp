@@ -42,8 +42,9 @@ std::string pr(const ml::Confusion& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Extension — text mining vs code features (Sec. I)", scale);
+  bench::Session session(
+      "Extension — text mining vs code features (Sec. I)", argc, argv);
+  const double scale = session.scale();
 
   // NVD world (descriptive, CVE-tagged messages) + wild world (61%
   // euphemized security fixes).
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
     train_rows.emplace_back(v.begin(), v.end());
   }
 
+  session.add_items(train_messages.size());
   text::TextNaiveBayes nb;
   nb.fit(train_messages, train_labels);
   ml::RandomForest forest;

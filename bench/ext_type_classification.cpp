@@ -41,10 +41,9 @@ void append_sample(ml::MultiDataset& data, util::Rng& rng,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header(
-      "Extension — type classification under long-tail imbalance (Sec. IV-D)",
-      scale);
+  bench::Session session(
+      "Extension — type classification under long-tail imbalance (Sec. IV-D)", argc, argv);
+  const double scale = session.scale();
 
   util::Rng rng(121212);
   const int classes = static_cast<int>(corpus::kSecurityTypeCount);
@@ -88,6 +87,7 @@ int main(int argc, char** argv) {
     return predicted;
   };
 
+  session.add_items(test.rows.size());
   const std::vector<int> nvd_pred = train_and_predict(nvd_train);
   const std::vector<int> combined_pred = train_and_predict(combined_train);
   std::vector<int> rule_pred;

@@ -13,8 +13,9 @@ using namespace patchdb;
 }
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Fig. 5 — the eight IF-statement variants (RQ3)", scale);
+  bench::Session session(
+      "Fig. 5 — the eight IF-statement variants (RQ3)", argc, argv);
+  const double scale = session.scale();
 
   // Render every template against the running example `if (len > max)`.
   const std::string condition = "len > max";
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   synth::SynthesisOptions opt;
   opt.max_per_patch = 0;  // enumerate everything
   const auto synthetic = synth::synthesize_all(world.nvd_security, opt, 3);
+  session.add_items(synthetic.size());
 
   std::array<std::size_t, synth::kVariantCount> per_variant{};
   std::size_t before_side = 0;

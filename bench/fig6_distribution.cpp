@@ -39,9 +39,9 @@ std::string bar(double fraction) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header(
-      "Fig. 6 — NVD-based vs wild-based type distribution (RQ4)", scale);
+  bench::Session session(
+      "Fig. 6 — NVD-based vs wild-based type distribution (RQ4)", argc, argv);
+  const double scale = session.scale();
 
   corpus::WorldConfig config;
   config.repos = 40;
@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   core::AugmentOptions opt;
   opt.max_rounds = 3;
   loop.run(opt);
+  session.add_items(world.wild.size());
 
   const auto nvd_shares = type_shares(bench::as_pointers(world.nvd_security));
   const auto wild_shares = type_shares(loop.wild_security());

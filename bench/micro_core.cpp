@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/categorize.h"
@@ -199,4 +200,27 @@ BENCHMARK(BM_GruInference);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): every bench target accepts
+// --metrics-out, but google-benchmark aborts on flags it does not know,
+// so strip it (micro_core has no pipeline run to report on) before
+// handing argv over.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--metrics-out") {
+      ++i;  // skip the file operand too
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

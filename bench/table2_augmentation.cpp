@@ -33,8 +33,9 @@ corpus::World make_set(std::size_t nvd, std::size_t pool, double rate,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Table II — wild-based dataset construction (RQ1)", scale);
+  bench::Session session(
+      "Table II — wild-based dataset construction (RQ1)", argc, argv);
+  const double scale = session.scale();
 
   const std::size_t nvd_size = bench::scaled(800, scale);
   const std::size_t set1_size = bench::scaled(20000, scale);
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   std::vector<core::RoundStats> all_rounds;
   auto run_round = [&](const std::string& range_label, std::size_t round_index) {
     const core::RoundStats stats = loop.run_round();
+    session.add_items(stats.candidates);
     all_rounds.push_back(stats);
     table.add_row({range_label, std::to_string(round_index),
                    std::to_string(stats.candidates),

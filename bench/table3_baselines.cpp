@@ -39,10 +39,9 @@ util::Interval verify_sample(corpus::Oracle& oracle,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header(
-      "Table III — nearest link search vs. other augmentation methods (RQ2)",
-      scale);
+  bench::Session session(
+      "Table III — nearest link search vs. other augmentation methods (RQ2)", argc, argv);
+  const double scale = session.scale();
 
   const std::size_t nvd_size = bench::scaled(800, scale);
   const std::size_t nonsec_size = bench::scaled(1650, scale);  // paper 8352:4076
@@ -78,6 +77,7 @@ int main(int argc, char** argv) {
 
   const core::NormalizedTask task =
       core::normalize_task(sec_features, nonsec_features, pool_features);
+  session.add_items(pool_ptrs.size());
 
   util::Table table("Table III: comparison with other augmentation methods");
   table.set_header({"Methods", "Unlabeled Patches", "Candidates",

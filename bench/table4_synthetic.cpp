@@ -82,8 +82,9 @@ std::string pct(double v) { return util::format_percent(v, 1); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Table IV — usefulness of synthetic patches (RQ3)", scale);
+  bench::Session session(
+      "Table IV — usefulness of synthetic patches (RQ3)", argc, argv);
+  const double scale = session.scale();
 
   const std::size_t nvd_sec = bench::scaled(500, scale);
   const std::size_t nvd_nonsec = bench::scaled(1000, scale);
@@ -148,6 +149,7 @@ int main(int argc, char** argv) {
     for (const corpus::CommitRecord* r : split.train) train_records.push_back(*r);
     std::vector<synth::SyntheticPatch> synthetic =
         synth::synthesize_all(train_records, synth_opt, seed + 2);
+    session.add_items(synthetic.size());
     std::size_t total_sec = 0;
     for (const auto& s : synthetic) total_sec += s.truth.is_security;
     const std::size_t nonsec_cap =

@@ -60,8 +60,9 @@ std::string pct(double v) { return util::format_percent(v, 1); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Table VI — dataset quality across models (RQ5)", scale);
+  bench::Session session(
+      "Table VI — dataset quality across models (RQ5)", argc, argv);
+  const double scale = session.scale();
 
   // NVD-like dataset: long-tail security types + non-security.
   corpus::WorldConfig nvd_config;
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
 
   const SplitSet nvd = split_80_20(nvd_all, 81);
   const SplitSet wild = split_80_20(wild_all, 82);
+  session.add_items(nvd_all.size() + wild_all.size());
 
   LabeledSet combined_train = nvd.train;
   combined_train.records.insert(combined_train.records.end(),

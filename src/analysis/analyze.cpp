@@ -3,6 +3,9 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace patchdb::analysis {
 
 namespace {
@@ -96,6 +99,8 @@ std::string reconstruct_fragment(const diff::FileDiff& file_diff, bool after) {
 }
 
 PatchAnalysis analyze_patch(const diff::Patch& patch) {
+  PATCHDB_TRACE_SPAN("analysis.patch");
+  PATCHDB_COUNTER_ADD("analysis.patches", 1);
   std::string before_source;
   std::string after_source;
   for (const diff::FileDiff& fd : patch.files) {
@@ -104,7 +109,11 @@ PatchAnalysis analyze_patch(const diff::Patch& patch) {
     before_source += reconstruct_fragment(fd, /*after=*/false);
     after_source += reconstruct_fragment(fd, /*after=*/true);
   }
-  return analyze_versions(before_source, after_source);
+  PatchAnalysis result = analyze_versions(before_source, after_source);
+  PATCHDB_COUNTER_ADD("analysis.diagnostics",
+                      result.before.diagnostics.size() +
+                          result.after.diagnostics.size());
+  return result;
 }
 
 }  // namespace patchdb::analysis

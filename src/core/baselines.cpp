@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ml/ensemble.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ml/forest.h"
 #include "ml/normalize.h"
 #include "util/rng.h"
@@ -13,6 +15,8 @@ namespace patchdb::core {
 std::vector<std::size_t> brute_force_select(std::size_t pool_size,
                                             std::size_t sample_size,
                                             std::uint64_t seed) {
+  PATCHDB_TRACE_SPAN("baselines.brute_force");
+  PATCHDB_COUNTER_ADD("baselines.brute_force.items", pool_size);
   util::Rng rng(seed);
   return rng.sample_indices(pool_size, std::min(sample_size, pool_size));
 }
@@ -64,8 +68,13 @@ std::vector<std::size_t> pseudo_label_select(const ml::Dataset& train,
                                              const feature::FeatureMatrix& pool,
                                              std::size_t top_k,
                                              std::uint64_t seed) {
+  PATCHDB_TRACE_SPAN("baselines.pseudo_label");
+  PATCHDB_COUNTER_ADD("baselines.pseudo_label.items", pool.rows());
   ml::RandomForest forest;
-  forest.fit(train, seed);
+  {
+    PATCHDB_TRACE_SPAN("baselines.pseudo_label.fit");
+    forest.fit(train, seed);
+  }
 
   std::vector<double> scores(pool.rows());
   util::default_pool().parallel_for(pool.rows(), [&](std::size_t lo, std::size_t hi) {
@@ -88,8 +97,13 @@ std::vector<std::size_t> pseudo_label_select(const ml::Dataset& train,
 std::vector<std::size_t> uncertainty_select(const ml::Dataset& train,
                                             const feature::FeatureMatrix& pool,
                                             std::uint64_t seed) {
+  PATCHDB_TRACE_SPAN("baselines.uncertainty");
+  PATCHDB_COUNTER_ADD("baselines.uncertainty.items", pool.rows());
   ml::ConsensusEnsemble ensemble(ml::make_weka_panel());
-  ensemble.fit(train, seed);
+  {
+    PATCHDB_TRACE_SPAN("baselines.uncertainty.fit");
+    ensemble.fit(train, seed);
+  }
 
   std::vector<char> keep(pool.rows(), 0);
   util::default_pool().parallel_for(pool.rows(), [&](std::size_t lo, std::size_t hi) {

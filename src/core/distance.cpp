@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace patchdb::core {
@@ -51,6 +53,13 @@ DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
   const std::size_t m = security.rows();
   const std::size_t n = wild.rows();
   DistanceMatrix matrix(m, n);
+
+  PATCHDB_TRACE_SPAN("distance.matrix");
+  PATCHDB_COUNTER_ADD("distance.calls", 1);
+  PATCHDB_COUNTER_ADD("distance.rows", m);
+  PATCHDB_COUNTER_ADD("distance.cells", m * n);
+  // 3 FLOPs per dimension per cell (sub, mul, add) + the final sqrt.
+  PATCHDB_COUNTER_ADD("distance.flops", m * n * (3 * dims + 1));
 
   // Pre-scale both sides once so the inner loop is a plain L2.
   auto scale = [&weights, dims](const feature::FeatureMatrix& in) {

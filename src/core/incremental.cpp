@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace patchdb::core {
@@ -98,6 +100,8 @@ LinkResult IncrementalLinker::link() {
   if (live_count_ < m) {
     throw std::invalid_argument("IncrementalLinker: pool smaller than seed set");
   }
+  PATCHDB_TRACE_SPAN("incremental.link");
+  PATCHDB_COUNTER_ADD("incremental.links", m);
 
   // Fill missing caches in parallel (each compute_cache touches only its
   // own slot; row_scans_ is corrected afterwards).
@@ -105,6 +109,8 @@ LinkResult IncrementalLinker::link() {
   for (std::size_t i = 0; i < m; ++i) {
     if (!cache_valid_[i]) missing.push_back(i);
   }
+  PATCHDB_COUNTER_ADD("incremental.cache_hits", m - missing.size());
+  PATCHDB_COUNTER_ADD("incremental.cache_fills", missing.size());
   if (!missing.empty()) {
     const std::size_t scans_before = row_scans_;
     util::default_pool().parallel_for(
@@ -153,6 +159,7 @@ LinkResult IncrementalLinker::link() {
     } else {
       // Cache exhausted: full row scan over live, unused pool entries.
       ++row_scans_;
+      PATCHDB_COUNTER_ADD("incremental.fallback_scans", 1);
       chosen = pool_count_;
       chosen_distance = kInf;
       for (std::size_t i = 0; i < pool_count_; ++i) {

@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace patchdb::core {
 
 namespace {
@@ -16,6 +19,8 @@ LinkResult nearest_link_search(const DistanceMatrix& d) {
   if (n < m) {
     throw std::invalid_argument("nearest_link_search: need cols >= rows");
   }
+  PATCHDB_TRACE_SPAN("nearest_link.greedy");
+  PATCHDB_COUNTER_ADD("nearest_link.links", m);
   LinkResult result;
   result.candidate.assign(m, 0);
 
@@ -54,6 +59,7 @@ LinkResult nearest_link_search(const DistanceMatrix& d) {
     if (used[n0]) {
       // The cached argmin was taken by an earlier link: recompute the row
       // minimum over unused columns and commit to it (lines 10-15).
+      PATCHDB_COUNTER_ADD("nearest_link.rescans", 1);
       const auto dr = d.row(m0);
       double row_best = kInf;
       std::size_t row_best_col = 0;
@@ -78,6 +84,8 @@ LinkResult exact_assignment(const DistanceMatrix& d) {
   const std::size_t m = d.rows();
   const std::size_t n = d.cols();
   if (n < m) throw std::invalid_argument("exact_assignment: need cols >= rows");
+  PATCHDB_TRACE_SPAN("nearest_link.exact");
+  PATCHDB_COUNTER_ADD("nearest_link.links", m);
 
   // Hungarian algorithm with potentials (Jonker-Volgenant flavor),
   // 1-based with column 0 as the virtual start. p[j] = row matched to
@@ -140,6 +148,8 @@ LinkResult exact_assignment(const DistanceMatrix& d) {
 }
 
 LinkResult row_argmin(const DistanceMatrix& d) {
+  PATCHDB_TRACE_SPAN("nearest_link.argmin");
+  PATCHDB_COUNTER_ADD("nearest_link.links", d.rows());
   LinkResult result;
   result.candidate.assign(d.rows(), 0);
   for (std::size_t row = 0; row < d.rows(); ++row) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace patchdb::ml {
@@ -51,6 +53,8 @@ CrossValResult cross_validate(
 
   CrossValResult result;
   for (std::size_t fold = 0; fold < k; ++fold) {
+    PATCHDB_TRACE_SPAN("crossval.fold");
+    PATCHDB_COUNTER_ADD("crossval.folds", 1);
     std::vector<std::size_t> train_idx;
     std::vector<std::size_t> test_idx;
     for (std::size_t i = 0; i < data.size(); ++i) {

@@ -1,0 +1,372 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace patchdb::obs {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want) {
+  throw JsonError(std::string("json: value is not ") + want);
+}
+
+void write_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null like most writers
+    out += "null";
+    return;
+  }
+  // Integers (the common case: counters, bucket counts) print exactly.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json parse error at offset " + std::to_string(pos_) +
+                    ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u for control characters; decode the
+          // BMP code point as UTF-8 for general inputs.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) kind_error("a string");
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("an array");
+  return *array_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("an object");
+  return *object_;
+}
+
+JsonArray& Json::as_array() {
+  if (kind_ != Kind::kArray) kind_error("an array");
+  if (array_.use_count() > 1) array_ = std::make_shared<JsonArray>(*array_);
+  return *array_;
+}
+
+JsonObject& Json::as_object() {
+  if (kind_ != Kind::kObject) kind_error("an object");
+  if (object_.use_count() > 1) object_ = std::make_shared<JsonObject>(*object_);
+  return *object_;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const JsonObject& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    throw JsonError("json: missing key '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+Json Json::get(std::string_view key) const {
+  const JsonObject& object = as_object();
+  const auto it = object.find(key);
+  return it == object.end() ? Json() : it->second;
+}
+
+bool Json::contains(std::string_view key) const {
+  const JsonObject& object = as_object();
+  return object.find(key) != object.end();
+}
+
+void Json::set(std::string key, Json value) {
+  as_object().insert_or_assign(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) { as_array().push_back(std::move(value)); }
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: write_number(out, number_); break;
+    case Kind::kString: write_escaped(out, string_); break;
+    case Kind::kArray: {
+      const JsonArray& array = *array_;
+      if (array.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline(depth + 1);
+        array[i].write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      const JsonObject& object = *object_;
+      if (object.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        write_escaped(out, key);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        value.write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.bool_ == b.bool_;
+    case Json::Kind::kNumber: return a.number_ == b.number_;
+    case Json::Kind::kString: return a.string_ == b.string_;
+    case Json::Kind::kArray: return *a.array_ == *b.array_;
+    case Json::Kind::kObject: return *a.object_ == *b.object_;
+  }
+  return false;
+}
+
+}  // namespace patchdb::obs

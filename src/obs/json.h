@@ -1,0 +1,108 @@
+// Minimal JSON value model for the observability layer: enough to write
+// RunReports, read them back (round-trip tested), and validate emitted
+// bench artifacts — no external dependency. Numbers are stored as
+// double; the writer emits integers without a fractional part so
+// counter values survive the round trip exactly up to 2^53.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patchdb::obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// std::map keeps object keys sorted, which makes the output diffable
+/// across runs — the point of a perf-trajectory artifact.
+using JsonObject = std::map<std::string, Json, std::less<>>;
+
+/// Thrown by parse() on malformed input and by the typed accessors on a
+/// kind mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                       // NOLINT
+  Json(double n) : kind_(Kind::kNumber), number_(n) {}                 // NOLINT
+  Json(int n) : kind_(Kind::kNumber), number_(n) {}                    // NOLINT
+  Json(long n) : kind_(Kind::kNumber),                                 // NOLINT
+                 number_(static_cast<double>(n)) {}
+  Json(unsigned long n) : kind_(Kind::kNumber),                        // NOLINT
+                          number_(static_cast<double>(n)) {}
+  Json(unsigned long long n) : kind_(Kind::kNumber),                   // NOLINT
+                               number_(static_cast<double>(n)) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {} // NOLINT
+  Json(std::string_view s) : kind_(Kind::kString), string_(s) {}       // NOLINT
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}            // NOLINT
+  Json(JsonArray a)                                                    // NOLINT
+      : kind_(Kind::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+  Json(JsonObject o)                                                   // NOLINT
+      : kind_(Kind::kObject),
+        object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object member access; `at` throws on a missing key, `get` returns
+  /// null. Both throw when this value is not an object.
+  const Json& at(std::string_view key) const;
+  Json get(std::string_view key) const;
+  bool contains(std::string_view key) const;
+
+  /// Insert/overwrite an object member (value must be an object).
+  void set(std::string key, Json value);
+  /// Append to an array (value must be an array).
+  void push_back(Json value);
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per
+  /// nesting level; 0 emits the compact single-line form.
+  std::string dump(int indent = 0) const;
+
+  /// Strict recursive-descent parse of a complete JSON document; throws
+  /// JsonError on any syntax error or trailing garbage.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // shared_ptr keeps Json copyable/cheap to move without writing a
+  // recursive variant by hand; sharing is never observable because every
+  // mutation path goes through the non-const accessors of one owner.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+}  // namespace patchdb::obs

@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+namespace patchdb::obs {
+
+namespace {
+
+std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// CAS-accumulate a double stored as bits in an atomic u64.
+void atomic_double_add(std::atomic<std::uint64_t>& bits, double delta) noexcept {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      expected, double_bits(bits_double(expected) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_double_min(std::atomic<std::uint64_t>& bits, double value) noexcept {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (value < bits_double(expected) &&
+         !bits.compare_exchange_weak(expected, double_bits(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_double_max(std::atomic<std::uint64_t>& bits, double value) noexcept {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (value > bits_double(expected) &&
+         !bits.compare_exchange_weak(expected, double_bits(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+}  // namespace
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+const BucketLayout& BucketLayout::time_ms() {
+  static const BucketLayout layout{{0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+                                    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+                                    2500.0, 5000.0, 10000.0}};
+  return layout;
+}
+
+const BucketLayout& BucketLayout::ratio() {
+  static const BucketLayout layout = [] {
+    BucketLayout l;
+    for (int i = 1; i <= 20; ++i) l.bounds.push_back(0.05 * i);
+    return l;
+  }();
+  return layout;
+}
+
+const BucketLayout& BucketLayout::count() {
+  static const BucketLayout layout = [] {
+    BucketLayout l;
+    for (double b = 1.0; b <= 16'777'216.0; b *= 4.0) l.bounds.push_back(b);
+    return l;
+  }();
+  return layout;
+}
+
+Histogram::Histogram(const BucketLayout& layout)
+    : bounds_(layout.bounds),
+      buckets_(kMetricShards * (layout.bounds.size() + 1)),
+      min_bits_(double_bits(std::numeric_limits<double>::infinity())),
+      max_bits_(double_bits(-std::numeric_limits<double>::infinity())) {}
+
+void Histogram::observe(double value) noexcept {
+  const std::size_t shard = thread_shard();
+  Shard& s = shards_[shard];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_double_add(s.sum_bits, value);
+  // First bucket whose upper bound admits the value; last slot = +inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[shard * (bounds_.size() + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_double_min(min_bits_, value);
+  atomic_double_max(max_bits_, value);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += bits_double(s.sum_bits.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+double Histogram::min() const noexcept {
+  return bits_double(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const noexcept {
+  return bits_double(max_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  const std::size_t n = bounds_.size() + 1;
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (std::size_t b = 0; b < n; ++b) {
+      out[b] += buckets_[shard * n + b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (seen + in_bucket < target) {
+      seen += in_bucket;
+      continue;
+    }
+    const double lo = b == 0 ? std::min(min, bounds.empty() ? min : bounds[0])
+                             : bounds[b - 1];
+    const double hi = b < bounds.size() ? bounds[b] : max;
+    if (in_bucket <= 0.0) return std::clamp(hi, min, max);
+    const double frac = (target - seen) / in_bucket;
+    // Clamp to the observed range: interpolation inside the final
+    // occupied bucket would otherwise report values above the true max.
+    return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min, max);
+  }
+  return max;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const noexcept {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+template <typename T, typename... Args>
+T& MetricsRegistry::find_or_create(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+    std::string_view name, Args&&... args) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  const auto inserted = map.emplace(
+      std::string(name), std::make_unique<T>(std::forward<Args>(args)...));
+  return *inserted.first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const BucketLayout& layout) {
+  return find_or_create(histograms_, name, layout);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    h.bounds = histogram->bounds();
+    h.buckets = histogram->bucket_counts();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+MetricsRegistry* install_registry(MetricsRegistry* registry) noexcept {
+  return g_registry.exchange(registry, std::memory_order_acq_rel);
+}
+
+MetricsRegistry* registry() noexcept {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+void counter_add(std::string_view name, std::uint64_t delta) noexcept {
+  if (MetricsRegistry* r = registry()) r->counter(name).add(delta);
+}
+
+void gauge_set(std::string_view name, double value) noexcept {
+  if (MetricsRegistry* r = registry()) r->gauge(name).set(value);
+}
+
+void gauge_add(std::string_view name, double delta) noexcept {
+  if (MetricsRegistry* r = registry()) r->gauge(name).add(delta);
+}
+
+void histogram_observe(std::string_view name, double value) noexcept {
+  if (MetricsRegistry* r = registry()) r->histogram(name).observe(value);
+}
+
+void histogram_observe(std::string_view name, double value,
+                       const BucketLayout& layout) noexcept {
+  if (MetricsRegistry* r = registry()) r->histogram(name, layout).observe(value);
+}
+
+}  // namespace patchdb::obs

@@ -1,0 +1,63 @@
+#include "obs/obs.h"
+
+namespace patchdb::obs {
+
+void attach_pool(util::ThreadPool& pool) {
+  util::ThreadPool::Observer observer;
+  observer.queue_depth = [](std::size_t depth) {
+    const double d = static_cast<double>(depth);
+    gauge_set("pool.queue_depth", d);
+    histogram_observe("pool.queue_depth.dist", d, BucketLayout::count());
+  };
+  observer.task_ms = [](double ms) {
+    counter_add("pool.tasks", 1);
+    counter_add("pool.busy_us", static_cast<std::uint64_t>(ms * 1000.0));
+    histogram_observe("pool.task_ms", ms, BucketLayout::time_ms());
+  };
+  gauge_set("pool.threads", static_cast<double>(pool.size()));
+  pool.set_observer(std::move(observer));
+}
+
+void detach_pool(util::ThreadPool& pool) { pool.set_observer({}); }
+
+ObsSession::ObsSession(std::string name, Options options)
+    : name_(std::move(name)),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {
+  previous_registry_ = install_registry(&registry_);
+  previous_tracer_ = install_tracer(&tracer_);
+  if (options_.attach_default_pool) attach_pool(util::default_pool());
+}
+
+ObsSession::~ObsSession() {
+  if (options_.attach_default_pool) detach_pool(util::default_pool());
+  install_tracer(previous_tracer_);
+  install_registry(previous_registry_);
+}
+
+double ObsSession::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+RunReport ObsSession::report() const {
+  RunReport report;
+  report.name = name_;
+  report.wall_ms = elapsed_ms();
+  report.spans_dropped = tracer_.dropped();
+  report.metrics = registry_.snapshot();
+  report.spans = tracer_.snapshot();
+  // Derived gauge: fraction of the session's wall x threads the pool
+  // spent running tasks.
+  const double busy_us =
+      static_cast<double>(report.metrics.counter("pool.busy_us"));
+  const double threads = report.metrics.gauge("pool.threads");
+  if (busy_us > 0.0 && threads > 0.0 && report.wall_ms > 0.0) {
+    const double utilization = busy_us / (report.wall_ms * 1000.0 * threads);
+    report.metrics.gauges["pool.utilization"] = utilization;
+  }
+  return report;
+}
+
+}  // namespace patchdb::obs

@@ -1,0 +1,65 @@
+// One-stop observability session. Constructing an ObsSession installs a
+// fresh metrics registry and tracer as the process-global sinks and
+// (by default) wires the default thread pool's queue-depth gauge and
+// task-latency histogram; destroying it restores whatever was installed
+// before, so sessions nest and tests can't leak state. report() captures
+// everything recorded so far as a RunReport.
+//
+//   {
+//     obs::ObsSession session("table2_augmentation");
+//     run_pipeline();
+//     obs::write_report_file(session.report(), "m.json");
+//   }  // sinks restored
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::obs {
+
+/// Wire `pool`'s observer to the *globally installed* registry: gauge
+/// `pool.queue_depth`, histogram `pool.queue_depth.dist`, histogram
+/// `pool.task_ms`, counters `pool.tasks` / `pool.busy_us`, gauge
+/// `pool.threads`. Pass detach_pool to undo.
+void attach_pool(util::ThreadPool& pool);
+void detach_pool(util::ThreadPool& pool);
+
+class ObsSession {
+ public:
+  struct Options {
+    /// Attach util::default_pool() for the session's lifetime.
+    bool attach_default_pool = true;
+  };
+
+  explicit ObsSession(std::string name) : ObsSession(std::move(name), Options{}) {}
+  ObsSession(std::string name, Options options);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  MetricsRegistry& registry() noexcept { return registry_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  const std::string& name() const noexcept { return name_; }
+
+  double elapsed_ms() const;
+
+  /// Snapshot metrics + spans now. Also derives `pool.utilization`
+  /// (busy time / (wall x threads)) when the pool was attached.
+  RunReport report() const;
+
+ private:
+  std::string name_;
+  Options options_;
+  std::chrono::steady_clock::time_point start_;
+  MetricsRegistry registry_;
+  Tracer tracer_;
+  MetricsRegistry* previous_registry_ = nullptr;
+  Tracer* previous_tracer_ = nullptr;
+};
+
+}  // namespace patchdb::obs

@@ -1,0 +1,45 @@
+// RunReport: one machine-readable snapshot of a pipeline run — the
+// aggregated metrics registry, the completed trace spans, and run
+// metadata — serializable to JSON (round-trip tested) and renderable as
+// human tables through util/table.h. Bench binaries write one per run
+// via --metrics-out; those artifacts are the repo's perf trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace patchdb::obs {
+
+struct RunReport {
+  /// Run identity ("table2_augmentation", "patchdb metrics", ...).
+  std::string name;
+  /// Wall time covered by the report, in milliseconds.
+  double wall_ms = 0.0;
+  /// Spans dropped to ring overflow (0 in healthy runs).
+  std::uint64_t spans_dropped = 0;
+
+  MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+
+  Json to_json() const;
+  static RunReport from_json(const Json& json);
+
+  /// Human rendering: counters/gauges, histogram quantiles, and a span
+  /// tree summary, as util::Table grids.
+  std::string render() const;
+};
+
+/// Serialize and write `report` to `path` (pretty-printed). Throws
+/// std::runtime_error on I/O failure.
+void write_report_file(const RunReport& report, const std::string& path);
+
+/// Read + parse a report file; throws JsonError / std::runtime_error on
+/// malformed content. Used by `patchdb metrics --validate` and the
+/// bench-smoke CI check.
+RunReport read_report_file(const std::string& path);
+
+}  // namespace patchdb::obs

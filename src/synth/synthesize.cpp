@@ -6,6 +6,8 @@
 #include "diff/myers.h"
 #include "diff/render.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -157,6 +159,8 @@ std::vector<SyntheticPatch> synthesize(const corpus::CommitRecord& record,
 std::vector<SyntheticPatch> synthesize_all(
     std::span<const corpus::CommitRecord> records,
     const SynthesisOptions& options, std::uint64_t seed) {
+  PATCHDB_TRACE_SPAN("synth.all");
+  PATCHDB_COUNTER_ADD("synth.records", records.size());
   std::vector<std::vector<SyntheticPatch>> per_record(records.size());
   util::Rng rng(seed);
   std::vector<std::uint64_t> seeds(records.size());
@@ -173,6 +177,7 @@ std::vector<SyntheticPatch> synthesize_all(
   for (auto& chunk : per_record) {
     for (auto& p : chunk) out.push_back(std::move(p));
   }
+  PATCHDB_COUNTER_ADD("synth.patches", out.size());
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace patchdb::util {
@@ -31,13 +32,36 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return tasks_.size();
+}
+
+std::size_t ThreadPool::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
+void ThreadPool::set_observer(Observer observer) {
+  auto shared = (observer.queue_depth || observer.task_ms)
+                    ? std::make_shared<const Observer>(std::move(observer))
+                    : nullptr;
+  std::lock_guard lock(mutex_);
+  observer_ = std::move(shared);
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  std::shared_ptr<const Observer> observer;
+  std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    observer = observer_;
+    depth = tasks_.size();
   }
   task_ready_.notify_one();
+  if (observer && observer->queue_depth) observer->queue_depth(depth);
 }
 
 void ThreadPool::wait_idle() {
@@ -80,16 +104,29 @@ void ThreadPool::parallel_for(
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
+    std::shared_ptr<const Observer> observer;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping with an empty queue
       task = std::move(tasks_.front());
       tasks_.pop();
+      observer = observer_;
+      depth = tasks_.size();
     }
+    if (observer && observer->queue_depth) observer->queue_depth(depth);
+    const bool timed = observer && observer->task_ms;
+    const auto start = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
     t_on_pool_worker = true;
     task();
     t_on_pool_worker = false;
+    if (timed) {
+      observer->task_ms(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -16,6 +17,17 @@ namespace patchdb::util {
 
 class ThreadPool {
  public:
+  /// Metric hooks, invoked outside the pool lock. Both optional. The
+  /// observability layer (src/obs) installs these; the pool itself has
+  /// no obs dependency so the util library stays at the bottom of the
+  /// dependency order.
+  struct Observer {
+    /// Queue depth after every enqueue and dequeue.
+    std::function<void(std::size_t depth)> queue_depth;
+    /// Wall-clock latency of each completed task, in milliseconds.
+    std::function<void(double ms)> task_ms;
+  };
+
   /// `threads == 0` means hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -24,6 +36,17 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  std::size_t pending() const;
+
+  /// Tasks enqueued and not yet finished (pending + running).
+  std::size_t in_flight() const;
+
+  /// Install (or, with a default-constructed Observer, clear) the metric
+  /// hooks. Thread-safe; tasks already running may still report to the
+  /// previous observer.
+  void set_observer(Observer observer);
 
   /// Enqueue a task; runs on some worker eventually.
   void submit(std::function<void()> task);
@@ -44,11 +67,14 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  /// Shared so submit/worker can invoke hooks after dropping the lock
+  /// even while set_observer swaps in a replacement.
+  std::shared_ptr<const Observer> observer_;
 };
 
 /// Process-wide default pool, sized to the machine.

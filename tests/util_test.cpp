@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/hash.h"
@@ -421,6 +424,49 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   }
   pool.wait_idle();
   EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, SizeAndPendingAccessors) {
+  util::ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+
+  // Park both workers so further submissions stay queued.
+  std::atomic<int> parked{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      parked.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (parked.load() < 2) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([] {});
+  }
+  EXPECT_EQ(pool.pending(), 5u);
+  EXPECT_EQ(pool.in_flight(), 7u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  // Regression: destroying a pool while tasks are still queued must run
+  // every one of them (drain semantics), not drop the backlog.
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        count.fetch_add(1);
+      });
+    }
+  }  // destructor joins while most of the 64 tasks are still pending
+  EXPECT_EQ(count.load(), 64);
 }
 
 // --------------------------------------------------------------- hash --

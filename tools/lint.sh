@@ -27,6 +27,9 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   exit 2
 fi
 
+# find covers every module under src/ recursively — including the
+# observability layer (src/obs), whose macro call sites clang-tidy must
+# see expanded with the real compile flags.
 mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
   -name '*.cpp' | sort)
 

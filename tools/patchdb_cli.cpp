@@ -21,6 +21,14 @@
 //   patchdb presence FILE.patch TARGET_SOURCE_FILE
 //       Patch presence test (Sec. V-A.1): is the fix already applied in
 //       the target file? Prints patched/vulnerable/partial/unknown.
+//   patchdb metrics [--nvd N] [--wild N] [--rounds R] [--seed S]
+//           [--metrics-out FILE]
+//       Run the build pipeline under an observability session and print
+//       the metrics/span report; --metrics-out also writes the JSON
+//       artifact (schema patchdb.obs.v1).
+//   patchdb metrics --validate FILE.json
+//       Parse a --metrics-out artifact, check the schema and JSON
+//       round-trip, and print a summary. Exit 1 when malformed.
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +45,7 @@
 #include "diff/parse.h"
 #include "feature/features.h"
 #include "nn/encode.h"
+#include "obs/obs.h"
 #include "store/export.h"
 #include "synth/variants.h"
 #include "util/strings.h"
@@ -56,7 +65,10 @@ int usage() {
                "  categorize FILE.patch\n"
                "  tokens FILE.patch\n"
                "  variants \"CONDITION\"\n"
-               "  presence FILE.patch TARGET_SOURCE_FILE\n");
+               "  presence FILE.patch TARGET_SOURCE_FILE\n"
+               "  metrics [--nvd N] [--wild N] [--rounds R] [--seed S]"
+               " [--metrics-out FILE]\n"
+               "  metrics --validate FILE.json\n");
   return 2;
 }
 
@@ -266,6 +278,69 @@ int cmd_presence(const std::string& patch_path, const std::string& target_path) 
   return exit_code;
 }
 
+int cmd_metrics_validate(const std::string& path) {
+  if (path.empty()) {
+    std::fprintf(stderr, "patchdb metrics --validate: need FILE.json\n");
+    return 2;
+  }
+  obs::RunReport report;
+  try {
+    report = obs::read_report_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "patchdb metrics: %s is not a valid report: %s\n",
+                 path.c_str(), e.what());
+    return 1;
+  }
+  // Round-trip check: serializing the parsed report must reproduce the
+  // file's JSON value exactly (field loss here would silently corrupt
+  // the perf-trajectory artifacts).
+  const obs::Json reparsed = obs::Json::parse(read_file_or_die(path));
+  if (report.to_json() != reparsed) {
+    std::fprintf(stderr, "patchdb metrics: %s did not survive a JSON round-trip\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("%s: valid patchdb.obs.v1 report \"%s\"\n", path.c_str(),
+              report.name.c_str());
+  std::printf("  wall: %.1f ms, %zu counters, %zu gauges, %zu histograms, "
+              "%zu spans (%llu dropped)\n",
+              report.wall_ms, report.metrics.counters.size(),
+              report.metrics.gauges.size(), report.metrics.histograms.size(),
+              report.spans.size(),
+              static_cast<unsigned long long>(report.spans_dropped));
+  return 0;
+}
+
+int cmd_metrics(const Flags& flags) {
+  if (flags.has("--validate")) {
+    return cmd_metrics_validate(flags.value("--validate", std::string()));
+  }
+  core::BuildOptions options;
+  options.world.repos = 20;
+  options.world.nvd_security = flags.value("--nvd", std::size_t{200});
+  options.world.wild_pool = flags.value("--wild", std::size_t{4000});
+  options.world.seed = flags.value("--seed", std::size_t{42});
+  options.augment.max_rounds = flags.value("--rounds", std::size_t{3});
+  options.synthesis.max_per_patch = flags.value("--synth", std::size_t{2});
+
+  obs::ObsSession session("patchdb metrics");
+  const core::PatchDb db = core::build_patchdb(options);
+  const obs::RunReport report = session.report();
+
+  std::printf("pipeline: %zu NVD + %zu wild security, %zu nonsecurity, "
+              "%zu synthetic\n\n",
+              db.nvd_security.size(), db.wild_security.size(),
+              db.nonsecurity.size(), db.synthetic.size());
+  std::printf("%s", report.render().c_str());
+
+  const std::string out = flags.value("--metrics-out", std::string());
+  if (!out.empty()) {
+    obs::write_report_file(report, out);
+    std::printf("metrics written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int cmd_variants(const std::string& condition) {
   std::printf("if (%s) { ... }\n\n", condition.c_str());
   for (synth::IfVariant v : synth::all_variants()) {
@@ -299,6 +374,7 @@ int main(int argc, char** argv) {
     if (command == "presence" && argc >= 4) {
       return cmd_presence(argv[2], argv[3]);
     }
+    if (command == "metrics") return cmd_metrics(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "patchdb %s: %s\n", command.c_str(), e.what());
     return 1;
