@@ -9,6 +9,10 @@
 //   3. Search-range scaling — candidate precision as the pool grows
 //      (the paper's "larger search range enables a higher ratio" claim,
 //      measured densely rather than at two points).
+//   4. Multi-round cost — full recompute vs the incremental linker.
+//   5. Dense vs streaming engine — wall time and peak working set of
+//      the materialized M x N matrix against the tiled top-k engine on
+//      a 1000 x 100000 synthetic pool, with a bitwise equality check.
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -17,6 +21,8 @@
 #include "core/distance.h"
 #include "core/incremental.h"
 #include "core/nearest_link.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -222,6 +228,86 @@ int main(int argc, char** argv) {
     std::printf("%s", table.render().c_str());
     std::printf("  the incremental linker scans each seed's row once and pays\n"
                 "  only for newly-labeled seeds afterwards\n");
+  }
+
+  // ---- 5. Dense vs streaming engine (acceptance scale).
+  {
+    const std::size_t m = bench::scaled(1000, scale);
+    const std::size_t n = bench::scaled(100000, scale);
+    auto synthetic = [](std::size_t rows, std::uint64_t seed) {
+      util::Rng rng(seed);
+      feature::FeatureMatrix out(rows);
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+          out[i][j] = rng.uniform(-10, 10);
+        }
+      }
+      return out;
+    };
+    const feature::FeatureMatrix big_sec = synthetic(m, 7001);
+    const feature::FeatureMatrix big_pool = synthetic(n, 7002);
+    const std::vector<double> weights = core::maxabs_weights(big_sec, big_pool);
+
+    core::LinkResult dense_link;
+    const double dense_ms = bench::timed_ms("ablation.dense_engine", [&] {
+      const core::DistanceMatrix d =
+          core::distance_matrix(big_sec, big_pool, weights);
+      dense_link = core::nearest_link_search(d);
+    });
+    const double dense_bytes =
+        static_cast<double>(m) * static_cast<double>(n) * sizeof(float);
+
+    core::StreamingLinkStats stats;
+    core::LinkResult stream_link;
+    const double stream_ms = bench::timed_ms("ablation.streaming_engine", [&] {
+      stream_link = core::streaming_nearest_link(big_sec, big_pool, weights,
+                                                 core::StreamingLinkConfig{},
+                                                 &stats);
+    });
+    session.add_items(m * 2);
+
+    const bool identical =
+        dense_link.candidate == stream_link.candidate &&
+        dense_link.total_distance == stream_link.total_distance;
+    const double speedup = stream_ms > 0.0 ? dense_ms / stream_ms : 0.0;
+    const double mem_ratio =
+        stats.working_set_bytes > 0
+            ? dense_bytes / static_cast<double>(stats.working_set_bytes)
+            : 0.0;
+
+    util::Table table("Dense vs streaming nearest link (" +
+                      util::human_count(m) + " x " + util::human_count(n) + ")");
+    table.set_header({"Engine", "Time (ms)", "Working set (MB)", "Identical"});
+    table.add_row({"dense matrix", util::format_double(dense_ms, 1),
+                   util::format_double(dense_bytes / (1024.0 * 1024.0), 1), "—"});
+    table.add_row({"streaming tiled", util::format_double(stream_ms, 1),
+                   util::format_double(
+                       static_cast<double>(stats.working_set_bytes) /
+                           (1024.0 * 1024.0),
+                       2),
+                   identical ? "yes (bitwise)" : "NO — MISMATCH"});
+    std::printf("%s", table.render().c_str());
+    std::printf("  speedup %.2fx, working-set reduction %.0fx; topk hits %llu,\n"
+                "  fallback rescans %llu, pruned %llu of %llu cells\n",
+                speedup, mem_ratio,
+                static_cast<unsigned long long>(stats.topk_hits),
+                static_cast<unsigned long long>(stats.fallback_rescans),
+                static_cast<unsigned long long>(stats.pruned_cells),
+                static_cast<unsigned long long>(stats.pruned_cells +
+                                                stats.exact_cells));
+
+    PATCHDB_GAUGE_SET("nearest_link.bench.dense_ms", dense_ms);
+    PATCHDB_GAUGE_SET("nearest_link.bench.streaming_ms", stream_ms);
+    PATCHDB_GAUGE_SET("nearest_link.bench.speedup", speedup);
+    PATCHDB_GAUGE_SET("nearest_link.bench.dense_bytes", dense_bytes);
+    PATCHDB_GAUGE_SET("nearest_link.bench.streaming_bytes",
+                      static_cast<double>(stats.working_set_bytes));
+    PATCHDB_GAUGE_SET("nearest_link.bench.memory_reduction", mem_ratio);
+    PATCHDB_GAUGE_SET("nearest_link.bench.identical", identical ? 1.0 : 0.0);
+    if (!identical) {
+      std::printf("  ERROR: streaming result diverged from dense\n");
+      return 1;
+    }
   }
   return 0;
 }

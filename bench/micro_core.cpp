@@ -18,6 +18,8 @@
 #include "nn/encode.h"
 #include "nn/gru.h"
 #include "nn/vocab.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "synth/synthesize.h"
 #include "util/levenshtein.h"
 #include "util/rng.h"
@@ -144,6 +146,42 @@ void BM_NearestLinkGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_NearestLinkGreedy)->Args({100, 2000})->Args({400, 8000});
 
+// Dense-vs-streaming ablation, end to end (features -> LinkResult). The
+// dense arm pays the full M x N matrix (fill + greedy re-reads); the
+// streaming arm runs the tiled norm-decomposed engine. Same inputs,
+// bit-identical outputs; the {1000, 100000} shape is the acceptance
+// scale recorded in bench/BENCH_nearest_link.json.
+void BM_NearestLinkDenseEndToEnd(benchmark::State& state) {
+  const auto sec = random_features(static_cast<std::size_t>(state.range(0)), 7);
+  const auto wild = random_features(static_cast<std::size_t>(state.range(1)), 8);
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  for (auto _ : state) {
+    const core::DistanceMatrix d = core::distance_matrix(sec, wild, w);
+    benchmark::DoNotOptimize(core::nearest_link_search(d));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_NearestLinkDenseEndToEnd)
+    ->Args({100, 2000})
+    ->Args({1000, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NearestLinkStreaming(benchmark::State& state) {
+  const auto sec = random_features(static_cast<std::size_t>(state.range(0)), 7);
+  const auto wild = random_features(static_cast<std::size_t>(state.range(1)), 8);
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::streaming_nearest_link(sec, wild, w));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_NearestLinkStreaming)
+    ->Args({100, 2000})
+    ->Args({1000, 100000})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ExactAssignment(benchmark::State& state) {
   // The O(m^2 n) exact solver: ablation scale only.
   const auto sec = random_features(static_cast<std::size_t>(state.range(0)), 5);
@@ -200,19 +238,25 @@ BENCHMARK(BM_GruInference);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): every bench target accepts
-// --metrics-out, but google-benchmark aborts on flags it does not know,
-// so strip it (micro_core has no pipeline run to report on) before
-// handing argv over.
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark aborts on
+// flags it does not know, so --metrics-out is peeled off argv first.
+// When given, the whole run executes under an ObsSession and the
+// counters/spans the kernels record (distance.tiles, nearest_link.*)
+// land in a machine-readable report — this is what the CI bench-smoke
+// job uploads as an artifact.
 int main(int argc, char** argv) {
+  std::string metrics_out;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--metrics-out") {
-      ++i;  // skip the file operand too
+      if (i + 1 < argc) metrics_out = argv[++i];
       continue;
     }
-    if (arg.rfind("--metrics-out=", 0) == 0) continue;
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string_view("--metrics-out=").size());
+      continue;
+    }
     args.push_back(argv[i]);
   }
   int filtered_argc = static_cast<int>(args.size());
@@ -220,7 +264,13 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  {
+    patchdb::obs::ObsSession session("micro_core");
+    benchmark::RunSpecifiedBenchmarks();
+    if (!metrics_out.empty()) {
+      patchdb::obs::write_report_file(session.report(), metrics_out);
+    }
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -43,6 +43,11 @@ void AugmentationLoop::set_pool(std::vector<const corpus::CommitRecord*> pool) {
   pool_features_ = extract_records(pool_);
 }
 
+void AugmentationLoop::use_streaming(const StreamingLinkConfig& config) {
+  streaming_ = true;
+  streaming_config_ = config;
+}
+
 RoundStats AugmentationLoop::run_round() {
   PATCHDB_TRACE_SPAN("augment.round");
   RoundStats stats;
@@ -58,6 +63,11 @@ RoundStats AugmentationLoop::run_round() {
   if (pool_.size() <= security_.size()) {
     selected.resize(pool_.size());
     for (std::size_t i = 0; i < selected.size(); ++i) selected[i] = i;
+  } else if (streaming_) {
+    // Same LinkResult as the dense branch below, O(M·k) memory.
+    selected = streaming_nearest_link(security_features_, pool_features_,
+                                      streaming_config_)
+                   .candidate;
   } else {
     const DistanceMatrix d = distance_matrix(security_features_, pool_features_);
     selected = nearest_link_search(d).candidate;

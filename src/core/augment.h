@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/distance.h"
+#include "core/streaming_link.h"
 #include "corpus/oracle.h"
 #include "corpus/repo.h"
 #include "feature/features.h"
@@ -41,6 +42,12 @@ class AugmentationLoop {
   /// Features are extracted once per record here.
   void set_pool(std::vector<const corpus::CommitRecord*> pool);
 
+  /// Route candidate selection through the streaming tiled engine
+  /// instead of materializing the dense M x N matrix. Bit-identical
+  /// round results; memory bounded by the config's cap instead of
+  /// growing with the pool.
+  void use_streaming(const StreamingLinkConfig& config = {});
+
   /// One candidate-selection + verification round.
   RoundStats run_round();
 
@@ -63,6 +70,8 @@ class AugmentationLoop {
   corpus::Oracle& oracle_;
   std::size_t seed_count_;
   std::size_t rounds_run_ = 0;
+  bool streaming_ = false;
+  StreamingLinkConfig streaming_config_;
 
   std::vector<const corpus::CommitRecord*> security_;
   feature::FeatureMatrix security_features_;

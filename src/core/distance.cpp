@@ -43,6 +43,28 @@ double weighted_distance(std::span<const double> a, std::span<const double> b,
   return std::sqrt(total);
 }
 
+std::vector<float> scale_features(const feature::FeatureMatrix& matrix,
+                                  std::span<const double> weights) {
+  const std::size_t dims = weights.size();
+  std::vector<float> out(matrix.rows() * dims);
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    const std::span<const double> row = matrix[i];
+    for (std::size_t j = 0; j < dims; ++j) {
+      out[i * dims + j] = static_cast<float>(row[j] * weights[j]);
+    }
+  }
+  return out;
+}
+
+float l2_cell(const float* a, const float* b, std::size_t dims) noexcept {
+  float total = 0.0f;
+  for (std::size_t j = 0; j < dims; ++j) {
+    const float d = a[j] - b[j];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
 DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
                                const feature::FeatureMatrix& wild,
                                std::span<const double> weights) {
@@ -62,30 +84,14 @@ DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
   PATCHDB_COUNTER_ADD("distance.flops", m * n * (3 * dims + 1));
 
   // Pre-scale both sides once so the inner loop is a plain L2.
-  auto scale = [&weights, dims](const feature::FeatureMatrix& in) {
-    std::vector<float> out(in.rows() * dims);
-    for (std::size_t i = 0; i < in.rows(); ++i) {
-      const std::span<const double> row = in[i];
-      for (std::size_t j = 0; j < dims; ++j) {
-        out[i * dims + j] = static_cast<float>(row[j] * weights[j]);
-      }
-    }
-    return out;
-  };
-  const std::vector<float> sec = scale(security);
-  const std::vector<float> wld = scale(wild);
+  const std::vector<float> sec = scale_features(security, weights);
+  const std::vector<float> wld = scale_features(wild, weights);
 
   util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
       const float* a = sec.data() + r * dims;
       for (std::size_t c = 0; c < n; ++c) {
-        const float* b = wld.data() + c * dims;
-        float total = 0.0f;
-        for (std::size_t j = 0; j < dims; ++j) {
-          const float d = a[j] - b[j];
-          total += d * d;
-        }
-        matrix.at(r, c) = std::sqrt(total);
+        matrix.at(r, c) = l2_cell(a, wld.data() + c * dims, dims);
       }
     }
   });

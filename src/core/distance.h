@@ -61,4 +61,19 @@ DistanceMatrix distance_matrix(const feature::FeatureMatrix& security,
 double weighted_distance(std::span<const double> a, std::span<const double> b,
                          std::span<const double> weights);
 
+/// Pre-scale a feature matrix by per-dimension weights into a packed
+/// row-major float buffer (rows() x weights.size()). This is the exact
+/// double-multiply-then-cast sequence the dense kernel uses; the
+/// streaming engine and the incremental linker share it so their cells
+/// stay bit-identical to the materialized matrix.
+std::vector<float> scale_features(const feature::FeatureMatrix& matrix,
+                                  std::span<const double> weights);
+
+/// The scalar distance cell both paths agree on: sequential float
+/// accumulation of (a[j]-b[j])^2 followed by a float sqrt. Deliberately
+/// a single out-of-line definition — one instantiation means one
+/// rounding behavior, which is what makes the streaming engine's
+/// results bit-identical to the dense matrix.
+float l2_cell(const float* a, const float* b, std::size_t dims) noexcept;
+
 }  // namespace patchdb::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -28,6 +29,15 @@ float sq_distance(const float* a, const float* b, std::size_t dims) {
   return total;
 }
 
+double row_norm(const float* v, std::size_t dims) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double x = v[j];
+    total += x * x;
+  }
+  return std::sqrt(total);
+}
+
 }  // namespace
 
 void IncrementalLinker::set_pool(const feature::FeatureMatrix& pool,
@@ -42,8 +52,10 @@ void IncrementalLinker::set_pool(const feature::FeatureMatrix& pool,
   weights_.assign(weights.begin(), weights.end());
   pool_count_ = pool.rows();
   pool_.resize(pool_count_ * dims_);
+  pool_norm_.resize(pool_count_);
   for (std::size_t i = 0; i < pool_count_; ++i) {
     weigh_into(pool_.data() + i * dims_, pool[i], weights);
+    pool_norm_[i] = row_norm(pool_.data() + i * dims_, dims_);
   }
   alive_.assign(pool_count_, 1);
   live_count_ = pool_count_;
@@ -62,6 +74,7 @@ void IncrementalLinker::add_seeds(const feature::FeatureMatrix& seeds) {
   for (std::size_t i = 0; i < seeds.rows(); ++i) {
     seeds_.resize(seeds_.size() + dims_);
     weigh_into(seeds_.data() + seed_count_ * dims_, seeds[i], weights_);
+    seed_norm_.push_back(row_norm(seeds_.data() + seed_count_ * dims_, dims_));
     ++seed_count_;
     cache_.emplace_back();
     cache_valid_.push_back(0);
@@ -71,6 +84,16 @@ void IncrementalLinker::add_seeds(const feature::FeatureMatrix& seeds) {
 void IncrementalLinker::compute_cache(std::size_t seed_index) {
   ++row_scans_;
   const float* s = seed_row(seed_index);
+  const double ns = seed_norm_[seed_index];
+  // Cauchy-Schwarz screening once the heap is full: ||a-b||^2 >=
+  // (||a|| - ||b||)^2, so a pool row whose margin-adjusted norm gap
+  // already exceeds the heap's worst entry cannot enter the top-k. The
+  // conservative margin (float-kernel accumulation error, 4x headroom)
+  // plus the significance guard keep the surviving set — and therefore
+  // the cached heap — exactly what the unscreened scan produced.
+  const double sqf =
+      1.0 - 2.0 * (4.0 * static_cast<double>(dims_ + 2) * 0x1p-24 + 1e-7);
+  std::uint64_t pruned = 0;
   // Max-heap of the k smallest squared distances (pair ordered by first).
   std::vector<Neighbor> heap;
   heap.reserve(k_ + 1);
@@ -79,6 +102,15 @@ void IncrementalLinker::compute_cache(std::size_t seed_index) {
   };
   for (std::size_t i = 0; i < pool_count_; ++i) {
     if (!alive_[i]) continue;
+    if (k_ > 0 && heap.size() == k_) {
+      const double np = pool_norm_[i];
+      const double bd = ns > np ? ns - np : np - ns;
+      if (bd > (ns + np) * 1e-9 &&
+          bd * bd * sqf > static_cast<double>(heap.front().distance)) {
+        ++pruned;
+        continue;
+      }
+    }
     const float d = sq_distance(s, pool_row(i), dims_);
     if (heap.size() < k_) {
       heap.push_back(Neighbor{d, static_cast<std::uint32_t>(i)});
@@ -92,6 +124,7 @@ void IncrementalLinker::compute_cache(std::size_t seed_index) {
   std::sort_heap(heap.begin(), heap.end(), cmp);  // ascending distance
   cache_[seed_index] = std::move(heap);
   cache_valid_[seed_index] = 1;
+  PATCHDB_COUNTER_ADD("incremental.norm_prunes", pruned);
 }
 
 LinkResult IncrementalLinker::link() {

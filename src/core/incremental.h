@@ -65,10 +65,12 @@ class IncrementalLinker {
   std::size_t dims_ = feature::kFeatureCount;  // set by set_pool
   std::vector<double> weights_;
   std::vector<float> pool_;  // weighted, row-major pool_count x dims_
+  std::vector<double> pool_norm_;  // ||row|| per pool entry (norm screening)
   std::size_t pool_count_ = 0;
   std::vector<char> alive_;
   std::size_t live_count_ = 0;
   std::vector<float> seeds_;  // weighted, row-major seed_count x dims_
+  std::vector<double> seed_norm_;  // ||row|| per seed
   std::size_t seed_count_ = 0;
   std::vector<std::vector<Neighbor>> cache_;  // ascending distance
   std::vector<char> cache_valid_;

@@ -60,6 +60,7 @@ LinkResult nearest_link_search(const DistanceMatrix& d) {
       // The cached argmin was taken by an earlier link: recompute the row
       // minimum over unused columns and commit to it (lines 10-15).
       PATCHDB_COUNTER_ADD("nearest_link.rescans", 1);
+      PATCHDB_COUNTER_ADD("nearest_link.rescan_cells", n);
       const auto dr = d.row(m0);
       double row_best = kInf;
       std::size_t row_best_col = 0;

@@ -31,3 +31,9 @@ LinkResult exact_assignment(const DistanceMatrix& d);
 LinkResult row_argmin(const DistanceMatrix& d);
 
 }  // namespace patchdb::core
+
+// The streaming tiled engine (core/streaming_link.h) produces the same
+// LinkResult as nearest_link_search over a materialized matrix without
+// ever holding the M x N matrix — callers that only need Algorithm 1's
+// output at scale should prefer streaming_nearest_link.
+#include "core/streaming_link.h"  // IWYU pragma: export

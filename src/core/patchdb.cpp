@@ -21,6 +21,7 @@ PatchDb build_patchdb(const BuildOptions& options) {
   for (const corpus::CommitRecord& r : world.wild) pool.push_back(&r);
 
   AugmentationLoop loop(std::move(seed), world.oracle);
+  if (options.use_streaming_link) loop.use_streaming(options.streaming_link);
   loop.set_pool(std::move(pool));
   db.rounds = loop.run(options.augment);
   db.verification_effort = world.oracle.effort();

@@ -19,6 +19,11 @@ struct BuildOptions {
   AugmentOptions augment;             // rounds / stop threshold
   synth::SynthesisOptions synthesis;  // oversampling knobs
   bool run_synthesis = true;
+  /// Candidate selection through the streaming tiled engine instead of
+  /// the dense matrix (bit-identical rounds, memory capped by the
+  /// config). The default stays dense for small builds.
+  bool use_streaming_link = false;
+  StreamingLinkConfig streaming_link;
 };
 
 struct PatchDb {

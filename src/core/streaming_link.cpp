@@ -1,0 +1,305 @@
+#include "core/streaming_link.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace patchdb::core {
+
+namespace {
+
+/// One cached candidate. Lexicographic (distance, column) order is the
+/// tie rule the dense greedy implements implicitly by scanning columns
+/// left to right with a strict `<`.
+struct Entry {
+  float d;
+  std::uint32_t col;
+};
+
+bool lex_less(const Entry& a, const Entry& b) noexcept {
+  return a.d < b.d || (a.d == b.d && a.col < b.col);
+}
+
+/// Squared norm (and its root) of one scaled row, accumulated in
+/// double so the screening bounds lose almost nothing to rounding.
+std::pair<double, double> squared_norm(const float* v, std::size_t dims) noexcept {
+  double total = 0.0;
+  for (std::size_t j = 0; j < dims; ++j) {
+    const double x = v[j];
+    total += x * x;
+  }
+  return {total, std::sqrt(total)};
+}
+
+double dot(const float* a, const float* b, std::size_t dims) noexcept {
+  double total = 0.0;
+  for (std::size_t j = 0; j < dims; ++j) {
+    total += static_cast<double>(a[j]) * static_cast<double>(b[j]);
+  }
+  return total;
+}
+
+/// Conservative relative margin for comparing a double-precision
+/// squared bound against an exact float-kernel distance: the float
+/// kernel's sequential accumulation is off by at most ~(dims+2) float
+/// ulps relative, the double side by ~dims double ulps. 4x headroom.
+double screening_margin(std::size_t dims) noexcept {
+  return 4.0 * static_cast<double>(dims + 2) * 0x1p-24 + 1e-7;
+}
+
+}  // namespace
+
+StreamingLinkConfig::Resolved StreamingLinkConfig::resolve(
+    std::size_t rows, std::size_t cols) const {
+  Resolved r;
+  r.top_k = std::clamp<std::size_t>(top_k, 1, std::max<std::size_t>(cols, 1));
+  const std::size_t tile_floor = std::min<std::size_t>(64, std::max<std::size_t>(cols, 1));
+  r.tile_cols = std::clamp(tile_cols, tile_floor, std::max<std::size_t>(cols, 1));
+
+  auto working_set = [rows](std::size_t k, std::size_t tile) {
+    const std::size_t heap_bytes = rows * (k + 1) * sizeof(Entry);
+    const std::size_t cursor_bytes = rows * (sizeof(std::uint32_t) * 2);
+    const std::size_t row_norm_bytes = rows * sizeof(double) * 2;
+    const std::size_t tile_norm_bytes = tile * sizeof(double) * 2;
+    return heap_bytes + cursor_bytes + row_norm_bytes + tile_norm_bytes;
+  };
+
+  if (memory_cap_bytes > 0) {
+    // Shrink the tile first (it only trades dispatch overhead), then the
+    // heaps (they trade fallback re-scans), down to hard floors.
+    while (r.tile_cols > tile_floor &&
+           working_set(r.top_k, r.tile_cols) > memory_cap_bytes) {
+      r.tile_cols = std::max(tile_floor, r.tile_cols / 2);
+    }
+    while (r.top_k > 1 && working_set(r.top_k, r.tile_cols) > memory_cap_bytes) {
+      r.top_k = std::max<std::size_t>(1, r.top_k / 2);
+    }
+  }
+  r.working_set_bytes = working_set(r.top_k, r.tile_cols);
+  return r;
+}
+
+LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
+                                  const feature::FeatureMatrix& wild,
+                                  std::span<const double> weights,
+                                  const StreamingLinkConfig& config,
+                                  StreamingLinkStats* stats) {
+  const std::size_t dims = weights.size();
+  if (dims != security.cols() || dims != wild.cols()) {
+    throw std::invalid_argument("streaming_nearest_link: bad weight vector");
+  }
+  const std::size_t m = security.rows();
+  const std::size_t n = wild.rows();
+  if (n < m) {
+    throw std::invalid_argument("streaming_nearest_link: need cols >= rows");
+  }
+  LinkResult result;
+  if (m == 0) return result;
+
+  PATCHDB_TRACE_SPAN("nearest_link.streaming");
+  PATCHDB_COUNTER_ADD("nearest_link.links", m);
+
+  const StreamingLinkConfig::Resolved rc = config.resolve(m, n);
+  const std::size_t k = rc.top_k;
+  const std::size_t tile = rc.tile_cols;
+
+  // Same scale-then-cast as the dense kernel: identical float inputs.
+  const std::vector<float> sec = scale_features(security, weights);
+  const std::vector<float> wld = scale_features(wild, weights);
+
+  std::vector<double> row_norm(m);    // ||a||^2
+  std::vector<double> row_norm_s(m);  // ||a||
+  util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto [sq, root] = squared_norm(sec.data() + r * dims, dims);
+      row_norm[r] = sq;
+      row_norm_s[r] = root;
+    }
+  });
+
+  // Per-row bounded heaps, flat: row r owns entries [r*(k+1), r*(k+1)+k).
+  std::vector<Entry> entries(m * (k + 1));
+  std::vector<std::uint32_t> heap_size(m, 0);
+
+  const double margin = screening_margin(dims);
+  const double sqf = 1.0 - 2.0 * margin;  // factor on squared bounds
+
+  std::atomic<std::uint64_t> pruned_total{0};
+  std::atomic<std::uint64_t> exact_total{0};
+
+  // ---- Pass 1: stream wild columns in tiles, filling the top-k heaps.
+  std::vector<double> col_norm(tile);
+  std::vector<double> col_norm_s(tile);
+  std::size_t tiles = 0;
+  for (std::size_t tile_begin = 0; tile_begin < n; tile_begin += tile) {
+    const std::size_t tile_end = std::min(tile_begin + tile, n);
+    ++tiles;
+    util::default_pool().parallel_for(
+        tile_end - tile_begin, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto [sq, root] =
+                squared_norm(wld.data() + (tile_begin + i) * dims, dims);
+            col_norm[i] = sq;
+            col_norm_s[i] = root;
+          }
+        });
+
+    util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      std::uint64_t pruned = 0;
+      std::uint64_t exact = 0;
+      for (std::size_t r = begin; r < end; ++r) {
+        const float* a = sec.data() + r * dims;
+        const double na = row_norm[r];
+        const double na_s = row_norm_s[r];
+        Entry* h = entries.data() + r * (k + 1);
+        std::uint32_t sz = heap_size[r];
+        for (std::size_t c = tile_begin; c < tile_end; ++c) {
+          const float* b = wld.data() + c * dims;
+          if (sz == k) {
+            const double fsq =
+                static_cast<double>(h[0].d) * static_cast<double>(h[0].d);
+            const double nb = col_norm[c - tile_begin];
+            const double nb_s = col_norm_s[c - tile_begin];
+            // Level 1: Cauchy-Schwarz lower bound (||a|| - ||b||)^2,
+            // O(1) per cell. The significance guard keeps catastrophic
+            // cancellation in na_s - nb_s from producing an
+            // overconfident bound.
+            const double bd = na_s > nb_s ? na_s - nb_s : nb_s - na_s;
+            if (bd > (na_s + nb_s) * 1e-9 && bd * bd * sqf > fsq) {
+              ++pruned;
+              continue;
+            }
+            // Level 2: the decomposed squared distance
+            // ||a||^2 + ||b||^2 - 2 a.b in double precision.
+            const double d2 = na + nb - 2.0 * dot(a, b, dims);
+            if (d2 > (na + nb) * 1e-9 && d2 * sqf > fsq) {
+              ++pruned;
+              continue;
+            }
+          }
+          // Survivor: the exact float kernel the dense matrix uses.
+          ++exact;
+          const Entry e{l2_cell(a, b, dims), static_cast<std::uint32_t>(c)};
+          if (sz < k) {
+            h[sz++] = e;
+            std::push_heap(h, h + sz, lex_less);
+          } else if (lex_less(e, h[0])) {
+            std::pop_heap(h, h + k, lex_less);
+            h[k - 1] = e;
+            std::push_heap(h, h + k, lex_less);
+          }
+        }
+        heap_size[r] = sz;
+      }
+      pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+      exact_total.fetch_add(exact, std::memory_order_relaxed);
+    });
+  }
+
+  // Sort each heap ascending: the greedy consumes candidates in
+  // (distance, column) order, exactly the dense re-scan's preference.
+  util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      Entry* h = entries.data() + r * (k + 1);
+      std::sort(h, h + heap_size[r], lex_less);
+    }
+  });
+
+  // ---- Pass 2: heap-driven greedy selection (Algorithm 1 lines 5-17).
+  // The dense loop's argmin over unassigned rows uses each row's
+  // ORIGINAL full-row minimum (u is never refreshed on collisions), so
+  // the processing order is static: ascending (u, row). A binary heap
+  // replaces the O(M^2) linear sweep.
+  std::vector<std::pair<double, std::size_t>> order(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    order[r] = {static_cast<double>(entries[r * (k + 1)].d), r};
+  }
+  std::make_heap(order.begin(), order.end(), std::greater<>());
+
+  std::vector<char> used(n, 0);
+  std::vector<std::uint32_t> cursor(m, 0);
+  result.candidate.assign(m, 0);
+  std::size_t topk_hits = 0;
+  std::size_t fallbacks = 0;
+
+  while (!order.empty()) {
+    std::pop_heap(order.begin(), order.end(), std::greater<>());
+    const std::size_t r = order.back().second;
+    order.pop_back();
+
+    const Entry* h = entries.data() + r * (k + 1);
+    std::uint32_t pos = cursor[r];
+    while (pos < heap_size[r] && used[h[pos].col]) ++pos;
+    cursor[r] = pos;
+
+    float chosen_d;
+    std::size_t chosen_col;
+    if (pos < heap_size[r]) {
+      // Cached candidate: every column outside the heap is
+      // lexicographically >= the heap's worst entry, so the first
+      // unused cached entry IS the row's minimum over unused columns.
+      chosen_d = h[pos].d;
+      chosen_col = h[pos].col;
+      ++topk_hits;
+    } else {
+      // Heap exhausted by earlier links: tracked full-row re-scan,
+      // identical to the dense path's collision handling.
+      ++fallbacks;
+      const float* a = sec.data() + r * dims;
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_col = 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (used[c]) continue;
+        const double d = l2_cell(a, wld.data() + c * dims, dims);
+        if (d < best) {
+          best = d;
+          best_col = c;
+        }
+      }
+      chosen_d = static_cast<float>(best);
+      chosen_col = best_col;
+    }
+    result.candidate[r] = chosen_col;
+    result.total_distance += static_cast<double>(chosen_d);
+    used[chosen_col] = 1;
+  }
+
+  PATCHDB_COUNTER_ADD("distance.tiles", tiles);
+  PATCHDB_COUNTER_ADD("distance.cells",
+                      exact_total.load(std::memory_order_relaxed));
+  PATCHDB_COUNTER_ADD("nearest_link.topk_hits", topk_hits);
+  PATCHDB_COUNTER_ADD("nearest_link.fallback_rescans", fallbacks);
+  PATCHDB_COUNTER_ADD("nearest_link.streaming.pruned_cells",
+                      pruned_total.load(std::memory_order_relaxed));
+
+  if (stats != nullptr) {
+    stats->tiles = tiles;
+    stats->pruned_cells = pruned_total.load(std::memory_order_relaxed);
+    stats->exact_cells = exact_total.load(std::memory_order_relaxed);
+    stats->topk_hits = topk_hits;
+    stats->fallback_rescans = fallbacks;
+    stats->top_k = k;
+    stats->tile_cols = tile;
+    stats->working_set_bytes = rc.working_set_bytes;
+  }
+  return result;
+}
+
+LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
+                                  const feature::FeatureMatrix& wild,
+                                  const StreamingLinkConfig& config,
+                                  StreamingLinkStats* stats) {
+  return streaming_nearest_link(security, wild,
+                                maxabs_weights(security, wild), config, stats);
+}
+
+}  // namespace patchdb::core

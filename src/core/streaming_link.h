@@ -1,0 +1,96 @@
+// Streaming tiled nearest-link engine: Algorithm 1 without the dense
+// M x N distance matrix (Section III-B at corpus scale).
+//
+// The dense path materializes every distance (~3.3 GB at the paper's
+// 4076 x 200K shape) and the greedy link re-scans full O(N) rows on
+// candidate collisions. This engine instead
+//
+//   1. streams the wild set in cache-sized column tiles through a
+//      norm-decomposed kernel: with per-row and per-tile squared norms
+//      precomputed, ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, so a cell
+//      can be screened by the O(1) Cauchy-Schwarz lower bound
+//      (||a|| - ||b||)^2 and then by the decomposed dot product before
+//      the exact kernel ever runs;
+//   2. keeps a bounded top-k candidate heap per security patch, filled
+//      during the single streaming pass, so the greedy assignment's
+//      collision handling (Algorithm 1 lines 10-15) consults a k-entry
+//      sorted list instead of an O(N) row; and
+//   3. drives the greedy selection with a priority queue keyed on each
+//      row's cached minimum instead of the dense path's O(M^2) linear
+//      argmin sweep. When a row's heap is fully consumed by earlier
+//      links the engine falls back to a tracked full-row re-scan
+//      (counter `nearest_link.fallback_rescans`).
+//
+// Results are bit-identical to
+//   nearest_link_search(distance_matrix(security, wild, weights))
+// on equal inputs: the surviving cells run the exact same float kernel
+// (core::l2_cell), ties break toward the lowest column index, and the
+// screening bounds carry conservative error margins so no cell that
+// could enter a heap is ever pruned.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/nearest_link.h"
+#include "feature/features.h"
+
+namespace patchdb::core {
+
+/// Knobs for the streaming engine. Defaults suit a few hundred to a
+/// few thousand security patches against a 100K+ wild pool.
+struct StreamingLinkConfig {
+  /// Candidates cached per security patch. Larger k absorbs more
+  /// collisions before a fallback re-scan; k >= cols caches whole rows.
+  std::size_t top_k = 24;
+
+  /// Wild columns per streaming tile. 2048 columns x 60 dims x 4 bytes
+  /// keeps a tile's scaled features inside a typical L2 slice.
+  std::size_t tile_cols = 2048;
+
+  /// Optional cap (bytes) on the engine-owned working set: the
+  /// candidate heaps plus the per-tile norm buffers. 0 = uncapped.
+  /// When the cap binds, top_k and tile_cols shrink (floors: 1 and 64)
+  /// rather than allocating past it.
+  std::size_t memory_cap_bytes = 0;
+
+  struct Resolved {
+    std::size_t top_k = 0;
+    std::size_t tile_cols = 0;
+    /// Engine-owned bytes under the cap: heaps, cursors, norms.
+    std::size_t working_set_bytes = 0;
+  };
+  /// The effective knobs for an M x N problem after clamping to the
+  /// matrix shape and the memory cap.
+  Resolved resolve(std::size_t rows, std::size_t cols) const;
+};
+
+/// Per-run introspection (mirrors the obs counters, usable without a
+/// registry installed).
+struct StreamingLinkStats {
+  std::size_t tiles = 0;             // streaming tiles processed
+  std::size_t pruned_cells = 0;      // rejected by a screening bound
+  std::size_t exact_cells = 0;       // ran the exact float kernel
+  std::size_t topk_hits = 0;         // links served from a row's heap
+  std::size_t fallback_rescans = 0;  // links that re-scanned a full row
+  std::size_t top_k = 0;             // effective k after the cap
+  std::size_t tile_cols = 0;         // effective tile width
+  std::size_t working_set_bytes = 0; // engine-owned footprint
+};
+
+/// Algorithm 1 end to end — bit-identical LinkResult to the dense
+/// nearest_link_search over distance_matrix(security, wild, weights),
+/// O(M·k + N·d) memory instead of O(M·N).
+LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
+                                  const feature::FeatureMatrix& wild,
+                                  std::span<const double> weights,
+                                  const StreamingLinkConfig& config = {},
+                                  StreamingLinkStats* stats = nullptr);
+
+/// Convenience: learn the max-abs weights (Section III-B.2) then link.
+LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
+                                  const feature::FeatureMatrix& wild,
+                                  const StreamingLinkConfig& config = {},
+                                  StreamingLinkStats* stats = nullptr);
+
+}  // namespace patchdb::core

@@ -13,6 +13,7 @@
 #include "core/nearest_link.h"
 #include "core/patchdb.h"
 #include "corpus/world.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace patchdb {
@@ -69,6 +70,30 @@ TEST(Distance, IdenticalVectorsHaveZeroDistance) {
   std::fill(b[0].begin(), b[0].end(), 3.0);
   const core::DistanceMatrix d = core::distance_matrix(a, b);
   EXPECT_NEAR(d.at(0, 0), 0.0, 1e-9);
+}
+
+TEST(Distance, KernelCountersAreRecorded) {
+  // Pins the instrumentation contract: a distance_matrix fill followed
+  // by a greedy search must land its work counters in the installed
+  // registry (cells/flops are emitted BEFORE the kernel returns — this
+  // test exists because a refactor could silently strand them after a
+  // return and the macros would never fire).
+  obs::MetricsRegistry registry;
+  auto* previous = obs::install_registry(&registry);
+
+  const feature::FeatureMatrix a = random_features(4, 31);
+  const feature::FeatureMatrix b = random_features(9, 32);
+  const core::DistanceMatrix d = core::distance_matrix(a, b);
+  const core::LinkResult link = core::nearest_link_search(d);
+  obs::install_registry(previous);
+
+  ASSERT_EQ(link.candidate.size(), 4u);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("distance.calls"), 1u);
+  EXPECT_EQ(snap.counter("distance.rows"), 4u);
+  EXPECT_EQ(snap.counter("distance.cells"), 36u);
+  EXPECT_GT(snap.counter("distance.flops"), 0u);
+  EXPECT_EQ(snap.counter("nearest_link.links"), 4u);
 }
 
 // ------------------------------------------------------- nearest link --

@@ -1,0 +1,233 @@
+// Streaming tiled nearest-link engine: the contract under test is
+// bit-identity — streaming_nearest_link must return the exact
+// LinkResult (candidates AND total_distance) that the dense
+// nearest_link_search(distance_matrix(...)) path returns, across
+// problem shapes, top-k budgets, tile widths, memory caps, tie-heavy
+// inputs, and heap-exhausted fallback storms.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/augment.h"
+#include "core/distance.h"
+#include "core/nearest_link.h"
+#include "core/streaming_link.h"
+#include "corpus/world.h"
+#include "feature/features.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace patchdb;
+
+feature::FeatureMatrix random_features(std::size_t rows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  feature::FeatureMatrix m(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < feature::kFeatureCount; ++j) {
+      m[i][j] = rng.uniform(-10, 10);
+    }
+  }
+  return m;
+}
+
+core::LinkResult dense_link(const feature::FeatureMatrix& sec,
+                            const feature::FeatureMatrix& wild,
+                            std::span<const double> weights) {
+  const core::DistanceMatrix d = core::distance_matrix(sec, wild, weights);
+  return core::nearest_link_search(d);
+}
+
+TEST(StreamingLink, PropertySweepMatchesDenseBitwise) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 5}, {3, 8}, {10, 40}, {25, 200}, {40, 400}};
+  const std::size_t ks[] = {1, 2, 4, 24};
+  const std::size_t tiles[] = {1, 7, 64, 4096};
+
+  for (const auto& [m, n] : shapes) {
+    for (std::uint64_t seed : {11ULL, 29ULL}) {
+      const auto sec = random_features(m, seed);
+      const auto wild = random_features(n, seed + 1000);
+      const std::vector<double> w = core::maxabs_weights(sec, wild);
+      const core::LinkResult dense = dense_link(sec, wild, w);
+      ASSERT_EQ(dense.candidate.size(), m);
+
+      for (std::size_t k : ks) {
+        for (std::size_t tile : tiles) {
+          core::StreamingLinkConfig config;
+          config.top_k = k;
+          config.tile_cols = tile;
+          core::StreamingLinkStats stats;
+          const core::LinkResult stream =
+              core::streaming_nearest_link(sec, wild, w, config, &stats);
+          EXPECT_EQ(dense.candidate, stream.candidate)
+              << "m=" << m << " n=" << n << " seed=" << seed << " k=" << k
+              << " tile=" << tile;
+          // Bitwise, not approximate: both paths must accumulate the
+          // identical float cells in the identical order.
+          EXPECT_EQ(dense.total_distance, stream.total_distance)
+              << "m=" << m << " n=" << n << " seed=" << seed << " k=" << k
+              << " tile=" << tile;
+          EXPECT_EQ(stats.topk_hits + stats.fallback_rescans, m);
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingLink, TiesBreakTowardLowestColumn) {
+  // Every security row identical and every wild commit identical: all
+  // M x N distances tie, so the dense greedy's strict `<` scans keep
+  // the lowest row first and the lowest column per row. The streaming
+  // path must order rows by (u, row) and candidates by
+  // (distance, column) lexicographically to reproduce that.
+  const auto sec_one = random_features(1, 5);
+  feature::FeatureMatrix sec(3);
+  for (std::size_t i = 0; i < sec.rows(); ++i) sec.set_row(i, sec_one[0]);
+  feature::FeatureMatrix wild(5);
+  const auto one = random_features(1, 6);
+  for (std::size_t i = 0; i < wild.rows(); ++i) wild.set_row(i, one[0]);
+
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  const core::LinkResult dense = dense_link(sec, wild, w);
+  const core::LinkResult stream = core::streaming_nearest_link(sec, wild, w);
+
+  EXPECT_EQ(dense.candidate, stream.candidate);
+  EXPECT_EQ(dense.total_distance, stream.total_distance);
+  // With all columns equidistant, rows claim columns in index order.
+  EXPECT_EQ(stream.candidate, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(StreamingLink, HeapExhaustedFallbackStillBitIdentical) {
+  // Identical security rows share one top-k list; with k=2 and 12 rows,
+  // ten rows find their whole heap consumed by earlier links and must
+  // take the tracked full-row re-scan — the dense collision path.
+  const auto one = random_features(1, 77);
+  feature::FeatureMatrix sec(12);
+  for (std::size_t i = 0; i < sec.rows(); ++i) sec.set_row(i, one[0]);
+  const auto wild = random_features(40, 78);
+
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  const core::LinkResult dense = dense_link(sec, wild, w);
+
+  core::StreamingLinkConfig config;
+  config.top_k = 2;
+  core::StreamingLinkStats stats;
+  const core::LinkResult stream =
+      core::streaming_nearest_link(sec, wild, w, config, &stats);
+
+  EXPECT_GT(stats.fallback_rescans, 0u);
+  EXPECT_EQ(stats.topk_hits + stats.fallback_rescans, sec.rows());
+  EXPECT_EQ(dense.candidate, stream.candidate);
+  EXPECT_EQ(dense.total_distance, stream.total_distance);
+}
+
+TEST(StreamingLink, RecordsObsCounters) {
+  obs::MetricsRegistry registry;
+  auto* previous = obs::install_registry(&registry);
+
+  const auto sec = random_features(8, 3);
+  const auto wild = random_features(300, 4);
+  core::StreamingLinkConfig config;
+  config.tile_cols = 64;  // force several tiles
+  const core::LinkResult link =
+      core::streaming_nearest_link(sec, wild, config);
+  obs::install_registry(previous);
+
+  ASSERT_EQ(link.candidate.size(), 8u);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GE(snap.counter("distance.tiles"), 5u);  // ceil(300/64)
+  EXPECT_GT(snap.counter("distance.cells"), 0u);
+  EXPECT_EQ(snap.counter("nearest_link.topk_hits") +
+                snap.counter("nearest_link.fallback_rescans"),
+            8u);
+  EXPECT_EQ(snap.counter("nearest_link.links"), 8u);
+}
+
+TEST(StreamingLink, MemoryCapShrinksKnobsButNotResults) {
+  const std::size_t m = 20;
+  const std::size_t n = 500;
+  core::StreamingLinkConfig config;
+  config.top_k = 24;
+  config.tile_cols = 4096;
+
+  const auto uncapped = config.resolve(m, n);
+  config.memory_cap_bytes = 8 * 1024;
+  const auto capped = config.resolve(m, n);
+
+  EXPECT_LE(capped.working_set_bytes, config.memory_cap_bytes);
+  EXPECT_LT(capped.working_set_bytes, uncapped.working_set_bytes);
+  EXPECT_LE(capped.tile_cols, uncapped.tile_cols);
+  EXPECT_GE(capped.top_k, 1u);
+  EXPECT_GE(capped.tile_cols, 64u);
+
+  const auto sec = random_features(m, 91);
+  const auto wild = random_features(n, 92);
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  const core::LinkResult dense = dense_link(sec, wild, w);
+  core::StreamingLinkStats stats;
+  const core::LinkResult stream =
+      core::streaming_nearest_link(sec, wild, w, config, &stats);
+
+  EXPECT_EQ(stats.working_set_bytes, capped.working_set_bytes);
+  EXPECT_EQ(dense.candidate, stream.candidate);
+  EXPECT_EQ(dense.total_distance, stream.total_distance);
+}
+
+TEST(StreamingLink, LearnedWeightsOverloadMatchesDense) {
+  const auto sec = random_features(6, 41);
+  const auto wild = random_features(60, 42);
+  const core::LinkResult dense =
+      dense_link(sec, wild, core::maxabs_weights(sec, wild));
+  const core::LinkResult stream = core::streaming_nearest_link(sec, wild);
+  EXPECT_EQ(dense.candidate, stream.candidate);
+  EXPECT_EQ(dense.total_distance, stream.total_distance);
+}
+
+TEST(StreamingLink, RejectsBadShapes) {
+  const auto sec = random_features(10, 1);
+  const auto wild = random_features(5, 2);
+  EXPECT_THROW(core::streaming_nearest_link(sec, wild),
+               std::invalid_argument);
+  const std::vector<double> short_weights(3, 1.0);
+  const auto pool = random_features(20, 3);
+  EXPECT_THROW(core::streaming_nearest_link(sec, pool, short_weights),
+               std::invalid_argument);
+}
+
+TEST(StreamingLink, AugmentationLoopStreamingMatchesDense) {
+  corpus::WorldConfig config;
+  config.repos = 6;
+  config.nvd_security = 25;
+  config.wild_pool = 250;
+  config.wild_security_rate = 0.12;
+  config.seed = 4242;
+  corpus::World world = corpus::build_world(config);
+
+  auto run = [&world](bool streaming) {
+    std::vector<const corpus::CommitRecord*> seed;
+    for (const corpus::CommitRecord& r : world.nvd_security) seed.push_back(&r);
+    std::vector<const corpus::CommitRecord*> pool;
+    for (const corpus::CommitRecord& r : world.wild) pool.push_back(&r);
+    core::AugmentationLoop loop(std::move(seed), world.oracle);
+    if (streaming) loop.use_streaming();
+    loop.set_pool(std::move(pool));
+    core::AugmentOptions options;
+    options.max_rounds = 2;
+    options.stop_ratio = 0.0;
+    loop.run(options);
+    return loop.wild_security();
+  };
+
+  const auto dense_found = run(false);
+  const auto stream_found = run(true);
+  ASSERT_FALSE(dense_found.empty());
+  EXPECT_EQ(dense_found, stream_found);
+}
+
+}  // namespace

@@ -59,6 +59,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: patchdb <command> [args]\n"
                "  build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
+               "        [--streaming] [--link-topk K] [--link-tile N] [--link-mem-mb MB]\n"
                "  stats DIR\n"
                "  features FILE.patch [--all] [--semantic]\n"
                "  analyze FILE.patch [--unchanged]\n"
@@ -66,8 +67,9 @@ int usage() {
                "  tokens FILE.patch\n"
                "  variants \"CONDITION\"\n"
                "  presence FILE.patch TARGET_SOURCE_FILE\n"
-               "  metrics [--nvd N] [--wild N] [--rounds R] [--seed S]"
-               " [--metrics-out FILE]\n"
+               "  metrics [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
+               "          [--streaming] [--link-topk K] [--link-tile N]"
+               " [--link-mem-mb MB] [--metrics-out FILE]\n"
                "  metrics --validate FILE.json\n");
   return 2;
 }
@@ -123,6 +125,20 @@ class Flags {
   std::vector<std::string> args_;
 };
 
+/// `--streaming [--link-topk K] [--link-tile N] [--link-mem-mb MB]`:
+/// route the augmentation rounds through the streaming tiled
+/// nearest-link engine (bit-identical results, bounded memory).
+void apply_link_flags(const Flags& flags, core::BuildOptions& options) {
+  if (!flags.has("--streaming")) return;
+  options.use_streaming_link = true;
+  options.streaming_link.top_k =
+      flags.value("--link-topk", options.streaming_link.top_k);
+  options.streaming_link.tile_cols =
+      flags.value("--link-tile", options.streaming_link.tile_cols);
+  const std::size_t cap_mb = flags.value("--link-mem-mb", std::size_t{0});
+  if (cap_mb > 0) options.streaming_link.memory_cap_bytes = cap_mb << 20;
+}
+
 int cmd_build(const Flags& flags) {
   const std::string out = flags.value("--out", std::string());
   if (out.empty()) {
@@ -136,11 +152,13 @@ int cmd_build(const Flags& flags) {
   options.world.seed = flags.value("--seed", std::size_t{42});
   options.augment.max_rounds = flags.value("--rounds", std::size_t{3});
   options.synthesis.max_per_patch = flags.value("--synth", std::size_t{4});
+  apply_link_flags(flags, options);
 
-  std::printf("building PatchDB: %zu NVD CVEs, %zu wild commits, %zu rounds, seed %zu\n",
+  std::printf("building PatchDB: %zu NVD CVEs, %zu wild commits, %zu rounds, seed %zu%s\n",
               options.world.nvd_security, options.world.wild_pool,
               options.augment.max_rounds,
-              static_cast<std::size_t>(options.world.seed));
+              static_cast<std::size_t>(options.world.seed),
+              options.use_streaming_link ? " (streaming nearest link)" : "");
   const core::PatchDb db = core::build_patchdb(options);
   const store::ExportStats stats = store::export_patchdb(db, out);
 
@@ -322,6 +340,7 @@ int cmd_metrics(const Flags& flags) {
   options.world.seed = flags.value("--seed", std::size_t{42});
   options.augment.max_rounds = flags.value("--rounds", std::size_t{3});
   options.synthesis.max_per_patch = flags.value("--synth", std::size_t{2});
+  apply_link_flags(flags, options);
 
   obs::ObsSession session("patchdb metrics");
   const core::PatchDb db = core::build_patchdb(options);
