@@ -1,6 +1,7 @@
 #include "core/augment.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "core/nearest_link.h"
@@ -131,18 +132,72 @@ RoundStats AugmentationLoop::run_round() {
   util::log_info() << "augment round " << stats.round << ": " << stats.candidates
                    << " candidates, " << stats.verified_security
                    << " security (" << stats.ratio * 100.0 << "%)";
+  history_.push_back(stats);
   return stats;
 }
 
 std::vector<RoundStats> AugmentationLoop::run(const AugmentOptions& options) {
-  std::vector<RoundStats> all;
-  for (std::size_t round = 0; round < options.max_rounds; ++round) {
-    RoundStats stats = run_round();
-    const bool exhausted = stats.candidates == 0;
-    all.push_back(stats);
-    if (exhausted || stats.ratio < options.stop_ratio) break;
+  while (rounds_run_ < options.max_rounds && !finished_) {
+    const RoundStats stats = run_round();
+    if (stats.candidates == 0 || stats.ratio < options.stop_ratio) {
+      finished_ = true;
+    }
+    if (on_round_) on_round_(*this, stats);
   }
-  return all;
+  return history_;
+}
+
+LoopCheckpoint AugmentationLoop::checkpoint() const {
+  LoopCheckpoint cp;
+  cp.rounds_run = rounds_run_;
+  cp.finished = finished_;
+  cp.oracle_effort = oracle_.effort();
+  cp.history = history_;
+  cp.wild_security.reserve(security_.size() - seed_count_);
+  for (std::size_t i = seed_count_; i < security_.size(); ++i) {
+    cp.wild_security.push_back(security_[i]->patch.commit);
+  }
+  cp.nonsecurity.reserve(nonsecurity_.size());
+  for (const corpus::CommitRecord* r : nonsecurity_) {
+    cp.nonsecurity.push_back(r->patch.commit);
+  }
+  cp.pool.reserve(pool_.size());
+  for (const corpus::CommitRecord* r : pool_) {
+    cp.pool.push_back(r->patch.commit);
+  }
+  return cp;
+}
+
+void AugmentationLoop::restore(const LoopCheckpoint& checkpoint,
+                               const CommitIndex& by_commit) {
+  if (rounds_run_ != 0 || !pool_.empty() || !nonsecurity_.empty()) {
+    throw std::logic_error("augment: restore requires a fresh loop");
+  }
+  const auto lookup = [&by_commit](const std::string& commit) {
+    const auto it = by_commit.find(commit);
+    if (it == by_commit.end()) {
+      throw std::runtime_error("augment: checkpoint names unknown commit " +
+                               commit);
+    }
+    return it->second;
+  };
+  for (const std::string& commit : checkpoint.wild_security) {
+    const corpus::CommitRecord* record = lookup(commit);
+    security_.push_back(record);
+    security_features_.push_back(feature::extract(record->patch));
+  }
+  nonsecurity_.reserve(checkpoint.nonsecurity.size());
+  for (const std::string& commit : checkpoint.nonsecurity) {
+    nonsecurity_.push_back(lookup(commit));
+  }
+  pool_.reserve(checkpoint.pool.size());
+  for (const std::string& commit : checkpoint.pool) {
+    pool_.push_back(lookup(commit));
+  }
+  pool_features_ = extract_records(pool_);
+  rounds_run_ = checkpoint.rounds_run;
+  finished_ = checkpoint.finished;
+  history_ = checkpoint.history;
 }
 
 std::vector<const corpus::CommitRecord*> AugmentationLoop::wild_security() const {

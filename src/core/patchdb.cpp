@@ -5,6 +5,10 @@
 namespace patchdb::core {
 
 PatchDb build_patchdb(const BuildOptions& options) {
+  return build_patchdb(options, BuildHooks{});
+}
+
+PatchDb build_patchdb(const BuildOptions& options, const BuildHooks& hooks) {
   PatchDb db;
 
   // Stage 1: simulate the universe and run the NVD collection pipeline.
@@ -16,13 +20,18 @@ PatchDb build_patchdb(const BuildOptions& options) {
   std::vector<const corpus::CommitRecord*> seed;
   seed.reserve(world.nvd_security.size());
   for (const corpus::CommitRecord& r : world.nvd_security) seed.push_back(&r);
-  std::vector<const corpus::CommitRecord*> pool;
-  pool.reserve(world.wild.size());
-  for (const corpus::CommitRecord& r : world.wild) pool.push_back(&r);
 
   AugmentationLoop loop(std::move(seed), world.oracle);
   if (options.use_streaming_link) loop.use_streaming(options.streaming_link);
-  loop.set_pool(std::move(pool));
+  const bool restored =
+      hooks.before_rounds && hooks.before_rounds(loop, world);
+  if (!restored) {
+    std::vector<const corpus::CommitRecord*> pool;
+    pool.reserve(world.wild.size());
+    for (const corpus::CommitRecord& r : world.wild) pool.push_back(&r);
+    loop.set_pool(std::move(pool));
+  }
+  if (hooks.after_round) loop.set_round_callback(hooks.after_round);
   db.rounds = loop.run(options.augment);
   db.verification_effort = world.oracle.effort();
 

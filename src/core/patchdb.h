@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
+#include <functional>
 #include <vector>
 
 #include "core/augment.h"
@@ -24,6 +26,25 @@ struct BuildOptions {
   /// config). The default stays dense for small builds.
   bool use_streaming_link = false;
   StreamingLinkConfig streaming_link;
+
+  /// Round-boundary checkpoint directory (empty = no checkpointing)
+  /// and whether to resume from a checkpoint found there. Plain data
+  /// here; the store-layer driver (store::build_with_checkpoints) acts
+  /// on them — core::build_patchdb itself ignores both.
+  std::filesystem::path checkpoint_dir;
+  bool resume = false;
+};
+
+/// Injection points for checkpoint/resume (or any other round-boundary
+/// instrumentation) without a core -> store dependency.
+struct BuildHooks {
+  /// Called after the world is built and the loop constructed, before
+  /// the wild pool is installed. Return true when loop state was
+  /// restored from a checkpoint — set_pool is then skipped because the
+  /// checkpoint carries the residual pool.
+  std::function<bool(AugmentationLoop&, corpus::World&)> before_rounds;
+  /// Installed as the loop's round callback (the checkpoint save point).
+  AugmentationLoop::RoundCallback after_round;
 };
 
 struct PatchDb {
@@ -48,5 +69,8 @@ struct PatchDb {
 
 /// Run the full pipeline at the configured scale.
 PatchDb build_patchdb(const BuildOptions& options);
+
+/// Same pipeline with hook injection (checkpoint/resume drivers).
+PatchDb build_patchdb(const BuildOptions& options, const BuildHooks& hooks);
 
 }  // namespace patchdb::core

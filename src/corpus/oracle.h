@@ -38,6 +38,9 @@ class Oracle {
 
   std::size_t effort() const noexcept { return effort_; }
   void reset_effort() noexcept { effort_ = 0; }
+  /// Restore a checkpointed effort count so a resumed build reports the
+  /// same cumulative manual-verification cost as an uninterrupted one.
+  void set_effort(std::size_t effort) noexcept { effort_ = effort; }
 
   std::size_t size() const noexcept { return truths_.size(); }
 

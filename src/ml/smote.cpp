@@ -26,7 +26,12 @@ Dataset smote(const Dataset& data, const SmoteOptions& options, std::uint64_t se
   const double keep_prob = options.multiplier / static_cast<double>(per_row);
 
   // Precompute k nearest minority neighbors of each minority row.
+  // k == 0 (no neighbors to interpolate toward) and a non-positive
+  // multiplier (nothing to synthesize; keep_prob below would be NaN)
+  // both degenerate to the input unchanged instead of crashing on
+  // rng.index(0).
   const std::size_t k = std::min(options.k, minority_rows.size() - 1);
+  if (k == 0 || options.multiplier <= 0.0) return out;
   for (std::size_t idx = 0; idx < minority_rows.size(); ++idx) {
     const std::size_t i = minority_rows[idx];
     const auto xi = data.row(i);

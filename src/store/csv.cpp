@@ -1,0 +1,105 @@
+#include "store/csv.h"
+
+#include <stdexcept>
+
+namespace patchdb::store {
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::vector<std::string>> csv_parse(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    std::vector<std::string> row;
+    bool row_done = false;
+    while (!row_done) {
+      std::string field;
+      if (i < n && text[i] == '"') {
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          const char c = text[i];
+          if (c == '"') {
+            if (i + 1 < n && text[i + 1] == '"') {
+              field += '"';
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          field += c;
+          ++i;
+        }
+        if (!closed) throw std::runtime_error("csv: unterminated quoted field");
+        if (i >= n) {
+          row_done = true;
+        } else if (text[i] == ',') {
+          ++i;
+        } else if (text[i] == '\n') {
+          ++i;
+          row_done = true;
+        } else if (text[i] == '\r' && i + 1 < n && text[i + 1] == '\n') {
+          i += 2;
+          row_done = true;
+        } else {
+          throw std::runtime_error("csv: garbage after closing quote");
+        }
+      } else {
+        while (i < n && text[i] != ',' && text[i] != '\n') {
+          if (text[i] == '"') {
+            throw std::runtime_error("csv: stray quote in unquoted field");
+          }
+          field += text[i];
+          ++i;
+        }
+        if (i >= n || text[i] == '\n') {
+          if (!field.empty() && field.back() == '\r') field.pop_back();
+          if (i < n) ++i;
+          row_done = true;
+        } else {
+          ++i;  // ','
+        }
+      }
+      row.push_back(std::move(field));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+long long parse_int_field(std::string_view text, long long max, const char* what) {
+  if (text.empty()) {
+    throw std::runtime_error(std::string("store: empty ") + what + " field");
+  }
+  long long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error(std::string("store: malformed ") + what +
+                               " field '" + std::string(text) + "'");
+    }
+    value = value * 10 + (c - '0');
+    if (value > max) {
+      throw std::runtime_error(std::string("store: ") + what +
+                               " field out of range: '" + std::string(text) + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace patchdb::store

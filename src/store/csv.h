@@ -1,0 +1,31 @@
+// Strict RFC 4180-style CSV for the store's metadata files. The seed
+// exporter wrote fields verbatim, so a repo name containing a comma
+// corrupted the manifest; this module quotes on write and parses
+// quote-aware on read, rejecting (never silently repairing) malformed
+// input. Quoted fields round-trip separators, quotes, and CR/LF.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patchdb::store {
+
+/// Quote `field` when it contains ',', '"', '\r' or '\n' (embedded
+/// quotes doubled); returned verbatim otherwise.
+std::string csv_escape(std::string_view field);
+
+/// Parse a whole CSV document. Rows end at an unquoted '\n' (a CRLF
+/// terminator and a trailing '\r' before EOF are consumed); a trailing
+/// newline does not produce a final empty row. Throws
+/// std::runtime_error on stray or unterminated quotes and on garbage
+/// after a closing quote.
+std::vector<std::vector<std::string>> csv_parse(std::string_view text);
+
+/// Strict non-negative integer field: every character must be a digit
+/// and the value must not exceed `max`. Throws std::runtime_error
+/// naming `what` otherwise — a corrupted numeric field must fail the
+/// load, not silently parse as 0 the way std::atoi did.
+long long parse_int_field(std::string_view text, long long max, const char* what);
+
+}  // namespace patchdb::store

@@ -3,13 +3,25 @@
 // `.patch` file per commit, grouped by component, plus CSV metadata):
 //
 //   <root>/
-//     manifest.csv             # one row per patch: id, component, label,
-//                              # type, repo, origin, variant
-//     features.csv             # one row per natural patch: id + 60 features
+//     manifest.csv             # version line, header, one row per patch
+//                              # (id, component, label, type, repo,
+//                              # origin, variant, modified_after,
+//                              # fnv1a64 checksum of the patch file),
+//                              # sealed with a checksum trailer
+//     features.csv             # one row per natural patch: id + 60
+//                              # features; same version line + trailer
 //     nvd/<commit>.patch
 //     wild/<commit>.patch
 //     nonsecurity/<commit>.patch
 //     synthetic/<commit>.patch
+//
+// Format v2 (crash-safe store): string fields are CSV-escaped, every
+// file is written atomically (temp + rename) with the manifest last so
+// a killed export never publishes a manifest describing missing files,
+// and loads verify both the manifest's own trailer checksum and each
+// patch file's recorded content checksum. Parsing is strict: malformed
+// numeric fields, unknown labels/components/types, and checksum
+// mismatches all throw instead of loading as garbage.
 //
 // Exports round-trip: load_patchdb(export_patchdb(db)) reproduces every
 // patch byte-for-byte (modulo snapshots, which are not exported — they
@@ -18,6 +30,7 @@
 
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/patchdb.h"
@@ -44,10 +57,14 @@ struct LoadedPatchDb {
 };
 
 /// Read an exported dataset. Throws std::runtime_error when the manifest
-/// is missing or malformed, or when a listed patch file fails to parse.
+/// is missing, malformed, fails its checksum, or when a listed patch
+/// file is absent, corrupted, or fails to parse.
 LoadedPatchDb load_patchdb(const std::filesystem::path& root);
 
-/// Render one manifest row (exposed for tests).
+/// First line of manifest.csv and features.csv ("#patchdb.store.v2").
+std::string_view store_version_line();
+
+/// Column header of the manifest (exposed for tests).
 std::string manifest_header();
 
 }  // namespace patchdb::store

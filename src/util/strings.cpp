@@ -26,7 +26,9 @@ std::vector<std::string_view> split_lines(std::string_view text) {
   while (start < text.size()) {
     std::size_t pos = text.find('\n', start);
     if (pos == std::string_view::npos) {
-      out.push_back(text.substr(start));
+      std::string_view line = text.substr(start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      out.push_back(line);
       break;
     }
     std::string_view line = text.substr(start, pos - start);

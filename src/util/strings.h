@@ -13,7 +13,9 @@ namespace patchdb::util {
 std::vector<std::string_view> split(std::string_view text, char sep);
 
 /// Split into lines, treating "\n" as terminator. A trailing newline does
-/// not produce a final empty line ("a\nb\n" -> {"a","b"}).
+/// not produce a final empty line ("a\nb\n" -> {"a","b"}). A line's
+/// trailing '\r' is stripped — including on a final unterminated line,
+/// so CRLF text parses the same with or without a trailing newline.
 std::vector<std::string_view> split_lines(std::string_view text);
 
 /// Split on runs of whitespace; no empty fields.

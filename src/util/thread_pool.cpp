@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <utility>
 
 namespace patchdb::util {
 
@@ -40,6 +41,16 @@ std::size_t ThreadPool::pending() const {
 std::size_t ThreadPool::in_flight() const {
   std::lock_guard lock(mutex_);
   return in_flight_;
+}
+
+std::size_t ThreadPool::task_errors() const {
+  std::lock_guard lock(mutex_);
+  return task_errors_;
+}
+
+std::exception_ptr ThreadPool::take_task_error() {
+  std::lock_guard lock(mutex_);
+  return std::exchange(task_error_, nullptr);
 }
 
 void ThreadPool::set_observer(Observer observer) {
@@ -120,7 +131,18 @@ void ThreadPool::worker_loop() {
     const auto start = timed ? std::chrono::steady_clock::now()
                              : std::chrono::steady_clock::time_point{};
     t_on_pool_worker = true;
-    task();
+    // A throwing task must not escape into the thread body (that would
+    // std::terminate the process) or skip the in_flight_ bookkeeping
+    // below (that would deadlock wait_idle forever). parallel_for wraps
+    // its chunks in its own handler, so anything caught here came from
+    // a bare submit(): stash the first, count the rest.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      ++task_errors_;
+      if (!task_error_) task_error_ = std::current_exception();
+    }
     t_on_pool_worker = false;
     if (timed) {
       observer->task_ms(std::chrono::duration<double, std::milli>(

@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -48,11 +49,23 @@ class ThreadPool {
   /// previous observer.
   void set_observer(Observer observer);
 
-  /// Enqueue a task; runs on some worker eventually.
+  /// Enqueue a task; runs on some worker eventually. A task that throws
+  /// does not take the worker (or the process) down: the exception is
+  /// caught, counted in task_errors(), and the first one is stashed for
+  /// take_task_error(), so wait_idle() still completes.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.
   void wait_idle();
+
+  /// Submitted tasks that terminated with an exception. parallel_for
+  /// reports its errors by rethrowing on the caller and never counts
+  /// here.
+  std::size_t task_errors() const;
+
+  /// The first exception thrown by a submit() task since the last call;
+  /// clears the slot. Null when no task has thrown.
+  std::exception_ptr take_task_error();
 
   /// Partition [0, n) into contiguous chunks and run `body(begin, end)`
   /// on the pool; blocks until all chunks are done. Exceptions thrown by
@@ -72,6 +85,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::size_t task_errors_ = 0;
+  std::exception_ptr task_error_;
   /// Shared so submit/worker can invoke hooks after dropping the lock
   /// even while set_observer swaps in a replacement.
   std::shared_ptr<const Observer> observer_;

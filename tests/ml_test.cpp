@@ -313,6 +313,31 @@ TEST(Smote, DegenerateInputsPassThrough) {
   EXPECT_EQ(out.size(), 1u);
 }
 
+TEST(Smote, ZeroNeighborsReturnsInputUnchanged) {
+  // options.k = 0 used to reach rng.index(0), which throws (or worse):
+  // with no neighbors to interpolate toward there is nothing to
+  // synthesize, so the input passes through.
+  Dataset d;
+  d.push_back({0.0, 0.0}, 0);
+  d.push_back({1.0, 1.0}, 0);
+  d.push_back({0.9, 0.9}, 0);
+  d.push_back({5.0, 5.0}, 1);
+  d.push_back({5.1, 5.1}, 1);
+  const Dataset out = ml::smote(d, {.k = 0, .multiplier = 3.0}, 7);
+  EXPECT_EQ(out.size(), d.size());
+  EXPECT_EQ(out.positives(), d.positives());
+}
+
+TEST(Smote, NonPositiveMultiplierReturnsInputUnchanged) {
+  // multiplier = 0 made keep_prob 0/0 = NaN; nothing to synthesize.
+  util::Rng rng(13);
+  Dataset d;
+  for (int i = 0; i < 30; ++i) d.push_back({rng.normal(), rng.normal()}, 0);
+  for (int i = 0; i < 10; ++i) d.push_back({rng.normal(3, 1), rng.normal(3, 1)}, 1);
+  EXPECT_EQ(ml::smote(d, {.k = 5, .multiplier = 0.0}, 7).size(), d.size());
+  EXPECT_EQ(ml::smote(d, {.k = 5, .multiplier = -1.0}, 7).size(), d.size());
+}
+
 // ----------------------------------------------------------- ensemble --
 
 TEST(Ensemble, PanelHasTenMembers) {

@@ -1,5 +1,6 @@
 // Tests for the on-disk dataset layout: export/load round trips, layout
-// contents, and failure handling for corrupted exports.
+// contents, strict manifest parsing, and failure handling for corrupted
+// exports (flipped bytes, truncated files, tampered manifests).
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -7,7 +8,9 @@
 
 #include "core/patchdb.h"
 #include "diff/render.h"
+#include "store/csv.h"
 #include "store/export.h"
+#include "store/io.h"
 
 namespace patchdb {
 namespace {
@@ -33,6 +36,18 @@ class StoreTest : public ::testing::Test {
     options.augment.max_rounds = 1;
     options.synthesis.max_per_patch = 2;
     return core::build_patchdb(options);
+  }
+
+  /// A properly sealed v2 manifest holding `rows` (so tests exercise row
+  /// validation, not just the checksum trailer).
+  void write_sealed_manifest(const std::string& rows) {
+    fs::create_directories(root_);
+    std::string body(store::store_version_line());
+    body += '\n';
+    body += store::manifest_header();
+    body += rows;
+    std::ofstream out(root_ / "manifest.csv", std::ios::binary);
+    out << store::with_checksum_trailer(std::move(body));
   }
 
   fs::path root_;
@@ -92,17 +107,73 @@ TEST_F(StoreTest, RoundTripPreservesEverything) {
   }
 }
 
+// The seed exporter wrote manifest fields verbatim, so a repo named
+// "lib,foo" produced an extra column and the row loaded as garbage.
+// Fields holding separators, quotes, and CRLF must now round-trip.
+TEST_F(StoreTest, NastyManifestFieldsRoundTrip) {
+  core::PatchDb db = small_db();
+  ASSERT_FALSE(db.nvd_security.empty());
+  ASSERT_FALSE(db.synthetic.empty());
+  db.nvd_security[0].repo = "evil,\"repo\"\r\nwith everything,";
+  db.nvd_security[1].repo = "trailing-newline\n";
+  db.synthetic[0].origin_commit = "comma,quote\"crlf\r\n";
+
+  store::export_patchdb(db, root_);
+  const store::LoadedPatchDb loaded = store::load_patchdb(root_);
+  ASSERT_EQ(loaded.nvd_security.size(), db.nvd_security.size());
+  EXPECT_EQ(loaded.nvd_security[0].repo, db.nvd_security[0].repo);
+  EXPECT_EQ(loaded.nvd_security[1].repo, db.nvd_security[1].repo);
+  EXPECT_EQ(loaded.synthetic[0].origin_commit, db.synthetic[0].origin_commit);
+}
+
+TEST_F(StoreTest, CsvEscapeAndParseRoundTrip) {
+  const std::string fields[] = {"plain", "with,comma", "with\"quote",
+                                "multi\r\nline", "", "  spaced  "};
+  std::string doc;
+  for (std::size_t i = 0; i < std::size(fields); ++i) {
+    if (i != 0) doc += ',';
+    doc += store::csv_escape(fields[i]);
+  }
+  doc += '\n';
+  const auto rows = store::csv_parse(doc);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), std::size(fields));
+  for (std::size_t i = 0; i < std::size(fields); ++i) {
+    EXPECT_EQ(rows[0][i], fields[i]) << i;
+  }
+
+  EXPECT_THROW(store::csv_parse("\"unterminated\n"), std::runtime_error);
+  EXPECT_THROW(store::csv_parse("a,\"b\"junk\n"), std::runtime_error);
+  EXPECT_THROW(store::csv_parse("stray\"quote\n"), std::runtime_error);
+}
+
+// Satellite: the loader used std::atoi, which silently parsed "7x" as 7
+// and "junk" as 0. parse_int_field must reject anything non-numeric.
+TEST_F(StoreTest, ParseIntFieldIsStrict) {
+  EXPECT_EQ(store::parse_int_field("0", 100, "t"), 0);
+  EXPECT_EQ(store::parse_int_field("42", 100, "t"), 42);
+  EXPECT_THROW(store::parse_int_field("", 100, "t"), std::runtime_error);
+  EXPECT_THROW(store::parse_int_field("7x", 100, "t"), std::runtime_error);
+  EXPECT_THROW(store::parse_int_field("-1", 100, "t"), std::runtime_error);
+  EXPECT_THROW(store::parse_int_field(" 7", 100, "t"), std::runtime_error);
+  EXPECT_THROW(store::parse_int_field("101", 100, "t"), std::runtime_error);
+}
+
 TEST_F(StoreTest, FeaturesCsvHasHeaderAndRows) {
   const core::PatchDb db = small_db();
   store::export_patchdb(db, root_);
   std::ifstream in(root_ / "features.csv");
+  std::string version;
+  std::getline(in, version);
+  EXPECT_EQ(version, store::store_version_line());
   std::string header;
   std::getline(in, header);
   EXPECT_EQ(header.rfind("commit,changed_lines,", 0), 0u);
   std::size_t rows = 0;
   std::string line;
   while (std::getline(in, line)) {
-    if (!line.empty()) ++rows;
+    if (line.empty() || line[0] == '#') continue;  // checksum trailer
+    ++rows;
   }
   EXPECT_EQ(rows, db.nvd_security.size() + db.wild_security.size() +
                       db.nonsecurity.size());
@@ -113,22 +184,112 @@ TEST_F(StoreTest, LoadMissingManifestThrows) {
   EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
 }
 
-TEST_F(StoreTest, LoadMalformedManifestRowThrows) {
+TEST_F(StoreTest, LoadUnsealedManifestThrows) {
+  // A v1-style manifest without the checksum trailer must be rejected.
   fs::create_directories(root_);
-  std::ofstream out(root_ / "manifest.csv");
-  out << store::manifest_header();
-  out << "too,few,fields\n";
+  std::ofstream out(root_ / "manifest.csv", std::ios::binary);
+  out << store::store_version_line() << "\n" << store::manifest_header();
   out.close();
   EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
 }
 
+TEST_F(StoreTest, LoadMalformedManifestRowThrows) {
+  write_sealed_manifest("too,few,fields\n");
+  EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
+}
+
+TEST_F(StoreTest, LoadRejectsGarbageFields) {
+  const struct {
+    const char* name;
+    const char* row;
+  } cases[] = {
+      // std::atoi would have read "7x" as 7 and loaded the row.
+      {"trailing garbage in type",
+       "deadbeef,nvd,security,7x,repo,,0,0,0123456789abcdef\n"},
+      {"case-sensitive label",
+       "deadbeef,nvd,Security,1,repo,,0,0,0123456789abcdef\n"},
+      {"non-numeric variant",
+       "deadbeef,synthetic,security,1,,beef,x,0,0123456789abcdef\n"},
+      {"out-of-range synthesis variant",
+       "deadbeef,synthetic,security,1,,beef,99,0,0123456789abcdef\n"},
+      {"natural patch with nonzero variant",
+       "deadbeef,nvd,security,1,repo,,3,0,0123456789abcdef\n"},
+      {"modified_after out of range",
+       "deadbeef,nvd,security,1,repo,,0,2,0123456789abcdef\n"},
+      {"unknown patch type",
+       "deadbeef,nvd,security,55,repo,,0,0,0123456789abcdef\n"},
+      // Commits double as file names; a traversal must not leave root.
+      {"commit with path traversal",
+       "../../etc/passwd,nvd,security,1,repo,,0,0,0123456789abcdef\n"},
+      {"uppercase commit",
+       "DEADBEEF,nvd,security,1,repo,,0,0,0123456789abcdef\n"},
+      {"short checksum", "deadbeef,nvd,security,1,repo,,0,0,0123\n"},
+  };
+  for (const auto& c : cases) {
+    fs::remove_all(root_);
+    write_sealed_manifest(c.row);
+    EXPECT_THROW(store::load_patchdb(root_), std::runtime_error) << c.name;
+  }
+}
+
 TEST_F(StoreTest, LoadMissingPatchFileThrows) {
   fs::create_directories(root_ / "nvd");
-  std::ofstream out(root_ / "manifest.csv");
-  out << store::manifest_header();
-  out << "deadbeef,nvd,security,1,repo,,0,0\n";
-  out.close();
+  write_sealed_manifest("deadbeef,nvd,security,1,repo,,0,0,0123456789abcdef\n");
   EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
+}
+
+TEST_F(StoreTest, LoadDetectsFlippedByteInManifest) {
+  store::export_patchdb(small_db(), root_);
+  const fs::path manifest = root_ / "manifest.csv";
+  std::string content = store::read_file(manifest);
+  content[content.size() / 2] ^= 0x01;
+  std::ofstream(manifest, std::ios::binary) << content;
+  EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
+}
+
+TEST_F(StoreTest, LoadDetectsCorruptedPatchFile) {
+  const core::PatchDb db = small_db();
+  store::export_patchdb(db, root_);
+  const fs::path victim =
+      root_ / "nvd" / (db.nvd_security[0].patch.commit + ".patch");
+  std::string content = store::read_file(victim);
+  content[content.size() / 2] ^= 0x01;  // same length, one flipped bit
+  std::ofstream(victim, std::ios::binary) << content;
+  try {
+    store::load_patchdb(root_);
+    FAIL() << "corrupted patch file loaded without error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST_F(StoreTest, LoadDetectsTruncatedPatchFile) {
+  const core::PatchDb db = small_db();
+  store::export_patchdb(db, root_);
+  const fs::path victim =
+      root_ / "wild" / (db.wild_security[0].patch.commit + ".patch");
+  const std::string content = store::read_file(victim);
+  std::ofstream(victim, std::ios::binary)
+      << content.substr(0, content.size() / 2);
+  EXPECT_THROW(store::load_patchdb(root_), std::runtime_error);
+}
+
+TEST_F(StoreTest, ChecksumTrailerRejectsAnyTampering) {
+  const std::string sealed = store::with_checksum_trailer("line one\nline two\n");
+  EXPECT_EQ(store::strip_checksum_trailer(sealed, "doc"),
+            "line one\nline two\n");
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    std::string bad = sealed;
+    bad[i] ^= 0x02;
+    EXPECT_THROW(store::strip_checksum_trailer(bad, "doc"), std::runtime_error)
+        << "flipped byte " << i << " went undetected";
+  }
+  EXPECT_THROW(store::strip_checksum_trailer("no trailer at all\n", "doc"),
+               std::runtime_error);
+  EXPECT_THROW(
+      store::strip_checksum_trailer(sealed.substr(0, sealed.size() - 3), "doc"),
+      std::runtime_error);
 }
 
 TEST_F(StoreTest, ExportIsIdempotent) {

@@ -291,6 +291,20 @@ TEST(Strings, SplitLinesHandlesTrailingNewlineAndCr) {
   EXPECT_EQ(lines[2], "c");
 }
 
+TEST(Strings, SplitLinesStripsCrOnFinalUnterminatedLine) {
+  // The npos branch used to keep the '\r': "a\r\nb\r" parsed as
+  // {"a", "b\r"}, so CRLF text behaved differently with and without a
+  // trailing newline.
+  const auto lines = util::split_lines("a\r\nb\r");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  // A lone '\r' line is stripped to empty, not dropped.
+  const auto lone = util::split_lines("x\n\r");
+  ASSERT_EQ(lone.size(), 2u);
+  EXPECT_EQ(lone[1], "");
+}
+
 TEST(Strings, SplitWsSkipsRuns) {
   const auto parts = util::split_ws("  a\t b  c ");
   ASSERT_EQ(parts.size(), 3u);
@@ -424,6 +438,36 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   }
   pool.wait_idle();
   EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, SubmittedTaskThrowingDoesNotKillPool) {
+  // A throwing submit() task used to escape worker_loop: the exception
+  // left the thread body, which is std::terminate. Now it is caught,
+  // counted, and the first one is stashed; wait_idle still returns.
+  util::ThreadPool pool(2);
+  EXPECT_EQ(pool.task_errors(), 0u);
+  EXPECT_EQ(pool.take_task_error(), nullptr);
+
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([] { throw std::runtime_error("task failed"); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pool.task_errors(), 3u);
+
+  std::exception_ptr error = pool.take_task_error();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+  // The slot holds only the first error and clears on take.
+  EXPECT_EQ(pool.take_task_error(), nullptr);
+
+  // The workers survived and still run tasks.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(pool.task_errors(), 3u);  // unchanged by successful tasks
 }
 
 TEST(ThreadPool, SizeAndPendingAccessors) {

@@ -1,11 +1,19 @@
 // patchdb — command-line front end for the PatchDB library.
 //
 //   patchdb build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]
+//           [--checkpoint-dir D] [--resume]
 //       Build a simulated PatchDB (NVD crawl -> nearest-link augmentation
-//       -> synthesis) and export it to DIR in the release layout.
+//       -> synthesis) and export it to DIR in the release layout. With
+//       --checkpoint-dir the augmentation state is persisted after every
+//       round; --resume continues an interrupted build from the last
+//       checkpoint and produces a bit-identical export.
 //   patchdb stats DIR
 //       Summarize an exported dataset: component sizes, Table V type
 //       distribution, categorizer agreement.
+//   patchdb fsck DIR
+//       Verify an exported dataset and/or checkpoint directory: manifest
+//       and features checksums, strict row parsing, per-patch content
+//       checksums, orphaned files. Exit 1 when anything is corrupted.
 //   patchdb features FILE.patch [--all] [--semantic]
 //       Print the Table I feature vector of a patch file (--semantic
 //       appends the 12 CFG/checker dimensions).
@@ -46,7 +54,9 @@
 #include "feature/features.h"
 #include "nn/encode.h"
 #include "obs/obs.h"
+#include "store/checkpoint.h"
 #include "store/export.h"
+#include "store/fsck.h"
 #include "synth/variants.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -60,7 +70,9 @@ int usage() {
                "usage: patchdb <command> [args]\n"
                "  build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
                "        [--streaming] [--link-topk K] [--link-tile N] [--link-mem-mb MB]\n"
+               "        [--checkpoint-dir D] [--resume]\n"
                "  stats DIR\n"
+               "  fsck DIR\n"
                "  features FILE.patch [--all] [--semantic]\n"
                "  analyze FILE.patch [--unchanged]\n"
                "  categorize FILE.patch\n"
@@ -152,14 +164,17 @@ int cmd_build(const Flags& flags) {
   options.world.seed = flags.value("--seed", std::size_t{42});
   options.augment.max_rounds = flags.value("--rounds", std::size_t{3});
   options.synthesis.max_per_patch = flags.value("--synth", std::size_t{4});
+  options.checkpoint_dir = flags.value("--checkpoint-dir", std::string());
+  options.resume = flags.has("--resume");
   apply_link_flags(flags, options);
 
-  std::printf("building PatchDB: %zu NVD CVEs, %zu wild commits, %zu rounds, seed %zu%s\n",
+  std::printf("building PatchDB: %zu NVD CVEs, %zu wild commits, %zu rounds, seed %zu%s%s\n",
               options.world.nvd_security, options.world.wild_pool,
               options.augment.max_rounds,
               static_cast<std::size_t>(options.world.seed),
-              options.use_streaming_link ? " (streaming nearest link)" : "");
-  const core::PatchDb db = core::build_patchdb(options);
+              options.use_streaming_link ? " (streaming nearest link)" : "",
+              options.checkpoint_dir.empty() ? "" : " (checkpointed)");
+  const core::PatchDb db = store::build_with_checkpoints(options);
   const store::ExportStats stats = store::export_patchdb(db, out);
 
   std::printf("exported %zu patches (%zu feature rows) to %s\n",
@@ -217,6 +232,26 @@ int cmd_stats(const std::string& dir) {
   std::printf("%s", table.render().c_str());
   std::printf("  categorizer agreement with labels: %.0f%%\n",
               100.0 * static_cast<double>(agree) / static_cast<double>(total));
+  return 0;
+}
+
+int cmd_fsck(const std::string& dir) {
+  if (dir.empty()) {
+    std::fprintf(stderr, "patchdb fsck: need a dataset or checkpoint DIR\n");
+    return 2;
+  }
+  const store::FsckReport report = store::fsck(dir);
+  for (const std::string& error : report.errors) {
+    std::fprintf(stderr, "fsck: %s\n", error.c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "fsck: %s: %zu error(s)\n", dir.c_str(),
+                 report.errors.size());
+    return 1;
+  }
+  std::printf("fsck: %s: ok (%zu files, %zu bytes, %zu rows verified)\n",
+              dir.c_str(), report.files_checked, report.bytes_checked,
+              report.manifest_rows);
   return 0;
 }
 
@@ -380,6 +415,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "build") return cmd_build(flags);
     if (command == "stats") return cmd_stats(flags.positional());
+    if (command == "fsck") return cmd_fsck(flags.positional());
     if (command == "features") {
       return cmd_features(flags.positional(), flags.has("--all"),
                           flags.has("--semantic"));
