@@ -95,11 +95,11 @@ int main(int argc, char** argv) {
               "  'family alone' marks the load-bearing families\n\n",
               util::format_percent(full, 1).c_str());
 
-  // ---- syntactic vs semantic feature space.
+  // ---- syntactic vs semantic vs interprocedural feature space.
   // The extended space appends 12 CFG/checker dimensions (features.h,
-  // indices 60-71). Compare the nearest link search in the 60-dim Table I
-  // space against the 72-dim extension, and against the 12 semantic
-  // dimensions alone.
+  // indices 60-71); the interprocedural space a further 8 call-graph and
+  // summary dimensions (72-79). Compare the nearest link search across
+  // the three spaces and across each extension alone.
   {
     const feature::FeatureMatrix sec_x =
         bench::features_of(seed_ptrs, feature::FeatureSpace::kSemantic);
@@ -109,6 +109,17 @@ int main(int argc, char** argv) {
 
     std::vector<double> semantic_only = weights_x;
     for (std::size_t j = 0; j < feature::kFeatureCount; ++j) semantic_only[j] = 0.0;
+
+    const feature::FeatureMatrix sec_ip =
+        bench::features_of(seed_ptrs, feature::FeatureSpace::kInterproc);
+    const feature::FeatureMatrix pool_ip =
+        bench::features_of(pool_ptrs, feature::FeatureSpace::kInterproc);
+    const std::vector<double> weights_ip = core::maxabs_weights(sec_ip, pool_ip);
+
+    std::vector<double> interproc_only = weights_ip;
+    for (std::size_t j = 0; j < feature::kExtendedFeatureCount; ++j) {
+      interproc_only[j] = 0.0;
+    }
 
     util::Table space_table("Feature space ablation (greedy nearest link)");
     space_table.set_header({"Space", "Dims", "Precision"});
@@ -121,10 +132,19 @@ int main(int argc, char** argv) {
     space_table.add_row({"semantic alone",
                          std::to_string(feature::kSemanticFeatureCount),
                          util::format_percent(precision_in(sec_x, pool_x, semantic_only), 1)});
+    space_table.add_row({"syntactic + semantic + interproc",
+                         std::to_string(feature::kInterprocExtendedFeatureCount),
+                         util::format_percent(precision_in(sec_ip, pool_ip, weights_ip), 1)});
+    space_table.add_row({"interproc alone",
+                         std::to_string(feature::kInterprocFeatureCount),
+                         util::format_percent(precision_in(sec_ip, pool_ip, interproc_only), 1)});
     std::printf("%s", space_table.render().c_str());
     std::printf("  semantic dims encode what the patch fixed (checker diffs, CFG\n"
                 "  deltas) rather than how it is written; alone they are coarse,\n"
-                "  appended they refine ties between syntactically similar commits\n");
+                "  appended they refine ties between syntactically similar commits.\n"
+                "  interproc dims add the cross-function view: summary-visible\n"
+                "  defects, call-graph churn, and fan of the changed functions\n"
+                "  (counters under analysis.interproc.* in --metrics-out)\n");
   }
   return 0;
 }

@@ -72,8 +72,11 @@ inline ml::Dataset feature_dataset(
     if (space == feature::FeatureSpace::kSyntactic) {
       const feature::FeatureVector v = feature::extract(r->patch);
       row.assign(v.begin(), v.end());
-    } else {
+    } else if (space == feature::FeatureSpace::kSemantic) {
       const feature::ExtendedFeatureVector v = feature::extract_extended(r->patch);
+      row.assign(v.begin(), v.end());
+    } else {
+      const feature::InterprocFeatureVector v = feature::extract_interproc(r->patch);
       row.assign(v.begin(), v.end());
     }
     data.push_back(std::move(row), r->truth.is_security ? 1 : 0);

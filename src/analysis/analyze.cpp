@@ -1,8 +1,11 @@
 #include "analysis/analyze.h"
 
 #include <map>
+#include <set>
 #include <utility>
 
+#include "analysis/callgraph.h"
+#include "analysis/summary.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -52,30 +55,150 @@ void diff_reports(const FileReport& before, const FileReport& after,
       static_cast<long>(after.cyclomatic) - static_cast<long>(before.cyclomatic);
 }
 
+/// Function name -> concatenated body text (first definition wins), the
+/// cheap identity used to decide which functions the patch changed.
+std::map<std::string, std::string> function_texts(const FileReport& report) {
+  std::map<std::string, std::string> out;
+  for (const Cfg& cfg : report.cfgs) {
+    std::string text;
+    for (const BasicBlock& block : cfg.blocks) {
+      for (const Statement& stmt : block.statements) {
+        text += stmt.text();
+        text += '\n';
+      }
+    }
+    out.try_emplace(cfg.function, std::move(text));
+  }
+  return out;
+}
+
+void diff_interproc(const FileReport& before, const FileReport& after,
+                    PatchAnalysis& out) {
+  out.interproc = true;
+  out.net_call_edges = static_cast<long>(after.interproc.call_edges) -
+                       static_cast<long>(before.interproc.call_edges);
+
+  std::set<std::string> names;
+  for (const auto& [name, sig] : before.interproc.summary_signatures) {
+    names.insert(name);
+  }
+  for (const auto& [name, sig] : after.interproc.summary_signatures) {
+    names.insert(name);
+  }
+  const auto signature_in = [](const InterprocStats& stats, const std::string& name)
+      -> const std::string* {
+    const auto it = stats.summary_signatures.find(name);
+    return it == stats.summary_signatures.end() ? nullptr : &it->second;
+  };
+  static const std::string kMissing;
+  for (const std::string& name : names) {
+    const std::string* b = signature_in(before.interproc, name);
+    const std::string* a = signature_in(after.interproc, name);
+    out.summary_changes += (b == nullptr ? kMissing : *b) !=
+                           (a == nullptr ? kMissing : *a);
+  }
+
+  // Changed functions: body text differs between the sides (or the
+  // function exists on one side only). Their call-graph context — who
+  // calls them, whom they call — is the paper-adjacent fan signal. The
+  // "<fragment>" pseudo-function churns with hunk framing, so it is
+  // excluded.
+  const std::map<std::string, std::string> texts_before = function_texts(before);
+  const std::map<std::string, std::string> texts_after = function_texts(after);
+  std::set<std::string> changed;
+  for (const auto& [name, text] : texts_before) {
+    const auto it = texts_after.find(name);
+    if (it == texts_after.end() || it->second != text) changed.insert(name);
+  }
+  for (const auto& [name, text] : texts_after) {
+    if (!texts_before.count(name)) changed.insert(name);
+  }
+  changed.erase("<fragment>");
+  for (const std::string& name : changed) {
+    const auto in_after = after.interproc.fan.find(name);
+    const auto& fan = in_after != after.interproc.fan.end()
+                          ? in_after->second
+                          : before.interproc.fan.at(name);
+    out.changed_fan_in += fan.first;
+    out.changed_fan_out += fan.second;
+  }
+}
+
 }  // namespace
 
-FileReport analyze_source(std::string_view source) {
+FileReport analyze_source(std::string_view source, const AnalyzeOptions& options) {
   FileReport report;
   report.cfgs = build_cfgs(source);
   for (const Cfg& cfg : report.cfgs) {
     report.blocks += cfg.blocks.size();
     report.edges += cfg.edge_count();
     report.cyclomatic += cfg.cyclomatic();
-    std::vector<Diagnostic> diagnostics = run_checkers(cfg);
+  }
+
+  if (!options.interproc) {
+    for (const Cfg& cfg : report.cfgs) {
+      std::vector<Diagnostic> diagnostics = run_checkers(cfg);
+      report.diagnostics.insert(report.diagnostics.end(),
+                                std::make_move_iterator(diagnostics.begin()),
+                                std::make_move_iterator(diagnostics.end()));
+    }
+    return report;
+  }
+
+  std::vector<DataflowResult> dataflows;
+  dataflows.reserve(report.cfgs.size());
+  for (const Cfg& cfg : report.cfgs) dataflows.push_back(analyze_dataflow(cfg));
+  const CallGraph graph = build_call_graph(report.cfgs, dataflows);
+  const SummaryTable table = compute_summaries(report.cfgs, graph);
+
+  for (const Cfg& cfg : report.cfgs) {
+    const DataflowResult dataflow = analyze_dataflow(cfg, table);
+    std::vector<Diagnostic> diagnostics = run_checkers(cfg, dataflow, &table);
     report.diagnostics.insert(report.diagnostics.end(),
                               std::make_move_iterator(diagnostics.begin()),
                               std::make_move_iterator(diagnostics.end()));
   }
+
+  InterprocStats& stats = report.interproc;
+  stats.functions = report.cfgs.size();
+  stats.call_edges = graph.edge_count();
+  stats.call_sites = graph.call_sites;
+  stats.unresolved_calls = graph.unresolved_calls;
+  stats.sccs = graph.sccs.size();
+  stats.recursive_sccs = graph.recursive_scc_count();
+  stats.summary_iterations = table.iterations;
+  stats.flagged_summaries = table.flagged_count();
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    // Duplicate names collapse onto their first definition, matching the
+    // graph's name table.
+    if (graph.index_of(graph.nodes[i].name) != i) continue;
+    stats.fan[graph.nodes[i].name] = {graph.nodes[i].fan_in,
+                                      graph.nodes[i].fan_out};
+  }
+  for (const auto& [name, summary] : table.by_function) {
+    stats.summary_signatures[name] = summary.signature();
+  }
   return report;
+}
+
+FileReport analyze_source(std::string_view source) {
+  return analyze_source(source, AnalyzeOptions{});
+}
+
+PatchAnalysis analyze_versions(std::string_view before_source,
+                               std::string_view after_source,
+                               const AnalyzeOptions& options) {
+  PatchAnalysis out;
+  out.before = analyze_source(before_source, options);
+  out.after = analyze_source(after_source, options);
+  diff_reports(out.before, out.after, out);
+  if (options.interproc) diff_interproc(out.before, out.after, out);
+  return out;
 }
 
 PatchAnalysis analyze_versions(std::string_view before_source,
                                std::string_view after_source) {
-  PatchAnalysis out;
-  out.before = analyze_source(before_source);
-  out.after = analyze_source(after_source);
-  diff_reports(out.before, out.after, out);
-  return out;
+  return analyze_versions(before_source, after_source, AnalyzeOptions{});
 }
 
 std::string reconstruct_fragment(const diff::FileDiff& file_diff, bool after) {
@@ -98,9 +221,10 @@ std::string reconstruct_fragment(const diff::FileDiff& file_diff, bool after) {
   return out;
 }
 
-PatchAnalysis analyze_patch(const diff::Patch& patch) {
+PatchAnalysis analyze_patch(const diff::Patch& patch, const AnalyzeOptions& options) {
   PATCHDB_TRACE_SPAN("analysis.patch");
   PATCHDB_COUNTER_ADD("analysis.patches", 1);
+  if (options.interproc) PATCHDB_COUNTER_ADD("analysis.interproc.patches", 1);
   std::string before_source;
   std::string after_source;
   for (const diff::FileDiff& fd : patch.files) {
@@ -109,11 +233,15 @@ PatchAnalysis analyze_patch(const diff::Patch& patch) {
     before_source += reconstruct_fragment(fd, /*after=*/false);
     after_source += reconstruct_fragment(fd, /*after=*/true);
   }
-  PatchAnalysis result = analyze_versions(before_source, after_source);
+  PatchAnalysis result = analyze_versions(before_source, after_source, options);
   PATCHDB_COUNTER_ADD("analysis.diagnostics",
                       result.before.diagnostics.size() +
                           result.after.diagnostics.size());
   return result;
+}
+
+PatchAnalysis analyze_patch(const diff::Patch& patch) {
+  return analyze_patch(patch, AnalyzeOptions{});
 }
 
 }  // namespace patchdb::analysis

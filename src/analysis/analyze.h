@@ -6,10 +6,18 @@
 // only after is *introduced*. The deltas feed the 12 semantic feature
 // dimensions (feature/features.h, FeatureSpace::kSemantic) and the
 // Table V categorizer tie-breaks.
+//
+// The opt-in interprocedural mode (AnalyzeOptions::interproc) layers the
+// call graph and function summaries (callgraph.h, summary.h) on top:
+// checkers see through call boundaries, and each side's report carries
+// call-graph shape and summary statistics whose BEFORE/AFTER deltas feed
+// the FeatureSpace::kInterproc tier. The default mode is bit-identical
+// to the intraprocedural analysis.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +28,28 @@
 
 namespace patchdb::analysis {
 
+struct AnalyzeOptions {
+  bool interproc = false;  // call-graph + summary-aware checkers
+};
+
+/// Call-graph and summary statistics of one analyzed side (filled only
+/// when AnalyzeOptions::interproc is set).
+struct InterprocStats {
+  std::size_t functions = 0;
+  std::size_t call_edges = 0;        // deduplicated resolved edges
+  std::size_t call_sites = 0;        // resolved call sites, with repeats
+  std::size_t unresolved_calls = 0;  // callee not defined in the fragment
+  std::size_t sccs = 0;
+  std::size_t recursive_sccs = 0;    // multi-member, or self-recursive
+  std::size_t summary_iterations = 0;
+  std::size_t flagged_summaries = 0;  // functions with any summary bit set
+  /// function -> compact summary signature (summary.h); "" when clean.
+  /// Keyed diffing of the two sides yields the summary-change count.
+  std::map<std::string, std::string> summary_signatures;
+  /// function -> (fan-in, fan-out) in the side's call graph.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> fan;
+};
+
 /// Analysis of one source fragment (one version of one or more files).
 struct FileReport {
   std::vector<Cfg> cfgs;
@@ -27,9 +57,11 @@ struct FileReport {
   std::size_t blocks = 0;      // totals across cfgs
   std::size_t edges = 0;
   std::size_t cyclomatic = 0;  // sum of per-function complexity
+  InterprocStats interproc;    // zeroed unless the interproc mode ran
 };
 
 FileReport analyze_source(std::string_view source);
+FileReport analyze_source(std::string_view source, const AnalyzeOptions& options);
 
 /// Patch-level result: BEFORE vs AFTER reports plus their diff.
 struct PatchAnalysis {
@@ -43,15 +75,26 @@ struct PatchAnalysis {
   long net_blocks = 0;
   long net_edges = 0;
   long net_cyclomatic = 0;
+
+  // --- interprocedural deltas (valid only when `interproc` is set).
+  bool interproc = false;
+  long net_call_edges = 0;        // AFTER minus BEFORE resolved call edges
+  std::size_t summary_changes = 0;  // functions whose summary signature moved
+  std::size_t changed_fan_in = 0;   // total fan-in of changed functions
+  std::size_t changed_fan_out = 0;  // total fan-out of changed functions
 };
 
 /// Analyze two explicit versions of the same code.
 PatchAnalysis analyze_versions(std::string_view before_source,
                                std::string_view after_source);
+PatchAnalysis analyze_versions(std::string_view before_source,
+                               std::string_view after_source,
+                               const AnalyzeOptions& options);
 
 /// Reconstruct the BEFORE (context + removed) and AFTER (context + added)
 /// fragments of every C/C++ file in the patch and analyze both sides.
 PatchAnalysis analyze_patch(const diff::Patch& patch);
+PatchAnalysis analyze_patch(const diff::Patch& patch, const AnalyzeOptions& options);
 
 /// The BEFORE or AFTER fragment of one file diff, as analyze_patch sees
 /// it (exposed for tests and the CLI).

@@ -434,13 +434,22 @@ class CfgBuilder {
   std::vector<std::pair<std::string, std::size_t>> pending_gotos_;
 };
 
-/// Parameters declared with '*' in the signature tokens `( ... )`.
-std::vector<std::string> pointer_params_of(std::span<const lang::Token> tokens,
-                                           std::size_t open, std::size_t close) {
-  std::vector<std::string> out;
+/// Parameter names declared in the signature tokens `( ... )`. The name
+/// of each comma-separated declarator is its last depth-0 identifier;
+/// parameters declared with '*' are additionally recorded as pointers.
+void scan_params(std::span<const lang::Token> tokens, std::size_t open,
+                 std::size_t close, Cfg& cfg) {
   bool saw_star = false;
   std::string last_identifier;
   std::size_t depth = 0;
+  const auto flush = [&] {
+    if (!last_identifier.empty()) {
+      cfg.params.push_back(last_identifier);
+      if (saw_star) cfg.pointer_params.push_back(last_identifier);
+    }
+    saw_star = false;
+    last_identifier.clear();
+  };
   for (std::size_t i = open + 1; i < close; ++i) {
     const lang::Token& t = tokens[i];
     if (t.text == "(" || t.text == "[") { ++depth; continue; }
@@ -451,13 +460,10 @@ std::vector<std::string> pointer_params_of(std::span<const lang::Token> tokens,
     } else if (t.kind == lang::TokenKind::kIdentifier) {
       last_identifier = t.text;
     } else if (t.text == ",") {
-      if (saw_star && !last_identifier.empty()) out.push_back(last_identifier);
-      saw_star = false;
-      last_identifier.clear();
+      flush();
     }
   }
-  if (saw_star && !last_identifier.empty()) out.push_back(last_identifier);
-  return out;
+  flush();
 }
 
 }  // namespace
@@ -520,7 +526,7 @@ std::vector<Cfg> build_cfgs(std::string_view source) {
         std::span<const lang::Token>(tokens).subspan(body_open,
                                                      body_close - body_open + 1),
         fn.name);
-    cfg.pointer_params = pointer_params_of(tokens, name_index + 1, params_close);
+    scan_params(tokens, name_index + 1, params_close, cfg);
     out.push_back(std::move(cfg));
     // The return type and qualifiers precede the name; cover them back to
     // the previous statement/body boundary so they don't end up in the

@@ -43,6 +43,7 @@ struct Cfg {
   static constexpr std::size_t kExit = 1;
 
   std::string function;                      // "<fragment>" outside any function
+  std::vector<std::string> params;           // all named parameters, in order
   std::vector<std::string> pointer_params;   // parameters declared with '*'
   std::vector<BasicBlock> blocks;
 

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/summary.h"
 #include "lang/lexer.h"
 
 namespace patchdb::analysis {
@@ -53,18 +54,6 @@ int format_arg(std::string_view name) {
   return -1;
 }
 
-/// Allocation-size argument position; -1 when the call is not a raw
-/// allocator (calloc is excluded: its two-argument form is the fix).
-int alloc_size_arg(std::string_view name) {
-  if (name == "malloc" || name == "vmalloc" || name == "xmalloc" ||
-      name == "alloca" || name == "g_malloc" || name == "OPENSSL_malloc") {
-    return 0;
-  }
-  if (name == "kmalloc" || name == "kzalloc") return 0;
-  if (name == "realloc") return 1;
-  return -1;
-}
-
 struct ArgScan {
   std::vector<std::string> identifiers;
   bool has_sizeof = false;
@@ -100,7 +89,8 @@ ArgScan scan_argument(const std::string& text) {
 
 class CheckerRun {
  public:
-  explicit CheckerRun(const Cfg& cfg) : cfg_(cfg) {}
+  explicit CheckerRun(const Cfg& cfg, const SummaryTable* summaries = nullptr)
+      : cfg_(cfg), summaries_(summaries) {}
 
   std::vector<Diagnostic> run(const DataflowResult& dataflow) {
     for (const BasicBlock& block : cfg_.blocks) {
@@ -229,10 +219,57 @@ class CheckerRun {
                      callee + "'");
         }
       }
+
+      // Interprocedural checks: effects the callee's summary exposes.
+      if (summaries_ != nullptr) check_call_summary(stmt, state, callee, args);
+    }
+  }
+
+  /// Summary-mediated findings at one call site: the callee dereferences
+  /// or sizes an allocation with what we hand it. (Frees performed by
+  /// callees need no check here — augmented facts feed them through the
+  /// regular use-after-free logic.)
+  void check_call_summary(const Statement& stmt, const FlowState& state,
+                          const std::string& callee,
+                          const std::vector<std::string>& args) {
+    const FunctionSummary* g = summaries_->find(callee);
+    if (g == nullptr) return;
+    const std::size_t argc = std::min(args.size(), g->param_flags.size());
+    for (std::size_t j = 0; j < argc; ++j) {
+      const ParamSummary& effect = g->param_flags[j];
+      if (!effect.deref_unguarded && !effect.alloc_size_unguarded) continue;
+      const ArgScan scan = scan_argument(args[j]);
+      if (scan.identifiers.empty()) continue;
+      const std::string& base = scan.identifiers.front();
+
+      if (effect.deref_unguarded) {
+        if (state.unguarded_params.count(base)) {
+          report(CheckerId::kMissingNullGuard, stmt, base,
+                 "parameter '" + base + "' passed to '" + callee +
+                     "', which dereferences it without a null guard");
+        }
+        if (state.unchecked_alloc.count(base)) {
+          report(CheckerId::kUncheckedAlloc, stmt, base,
+                 "allocation result '" + base + "' passed to '" + callee +
+                     "', which dereferences it without a null check");
+        }
+      }
+
+      if (effect.alloc_size_unguarded && scan.has_arith) {
+        const bool all_guarded = std::all_of(
+            scan.identifiers.begin(), scan.identifiers.end(),
+            [&](const std::string& id) { return state.bound_guarded.count(id) > 0; });
+        if (!all_guarded) {
+          report(CheckerId::kIntOverflowSize, stmt, base,
+                 "possible integer overflow in size passed to allocation "
+                 "wrapper '" + callee + "'");
+        }
+      }
     }
   }
 
   const Cfg& cfg_;
+  const SummaryTable* summaries_ = nullptr;
   std::set<std::pair<int, std::string>> seen_;
   std::vector<Diagnostic> diagnostics_;
 };
@@ -256,6 +293,12 @@ std::string Diagnostic::key() const {
 
 std::vector<Diagnostic> run_checkers(const Cfg& cfg, const DataflowResult& dataflow) {
   CheckerRun run(cfg);
+  return run.run(dataflow);
+}
+
+std::vector<Diagnostic> run_checkers(const Cfg& cfg, const DataflowResult& dataflow,
+                                     const SummaryTable* summaries) {
+  CheckerRun run(cfg, summaries);
   return run.run(dataflow);
 }
 

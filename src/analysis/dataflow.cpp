@@ -226,6 +226,16 @@ bool is_deallocator(std::string_view name) {
   return std::find(std::begin(kFree), std::end(kFree), name) != std::end(kFree);
 }
 
+int alloc_size_arg(std::string_view name) {
+  if (name == "malloc" || name == "vmalloc" || name == "xmalloc" ||
+      name == "alloca" || name == "g_malloc" || name == "OPENSSL_malloc") {
+    return 0;
+  }
+  if (name == "kmalloc" || name == "kzalloc") return 0;
+  if (name == "realloc") return 1;
+  return -1;
+}
+
 StatementFacts facts_for(const Statement& stmt) {
   StatementFacts facts;
   const std::vector<lang::Token>& toks = stmt.tokens;
@@ -496,16 +506,24 @@ StatementFacts facts_for(const Statement& stmt) {
   return facts;
 }
 
-DataflowResult analyze_dataflow(const Cfg& cfg) {
-  DataflowResult result;
-  result.facts.resize(cfg.blocks.size());
+std::vector<std::vector<StatementFacts>> statement_facts(const Cfg& cfg) {
+  std::vector<std::vector<StatementFacts>> facts(cfg.blocks.size());
   for (const BasicBlock& block : cfg.blocks) {
-    result.facts[block.id].reserve(block.statements.size());
+    facts[block.id].reserve(block.statements.size());
     for (const Statement& stmt : block.statements) {
-      result.facts[block.id].push_back(facts_for(stmt));
+      facts[block.id].push_back(facts_for(stmt));
     }
   }
+  return facts;
+}
 
+DataflowResult analyze_dataflow(const Cfg& cfg) {
+  DataflowResult result;
+  result.facts = statement_facts(cfg);
+  return resolve_dataflow(cfg, std::move(result));
+}
+
+DataflowResult resolve_dataflow(const Cfg& cfg, DataflowResult result) {
   FactSet params(cfg.pointer_params.begin(), cfg.pointer_params.end());
   result.maybe_uninit =
       solve_forward(cfg, result.facts, {gen_uninit, kill_uninit, false}, {});

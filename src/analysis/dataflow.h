@@ -58,6 +58,16 @@ struct DataflowResult {
 
 DataflowResult analyze_dataflow(const Cfg& cfg);
 
+/// Per-statement facts of every block, aligned with cfg.blocks (the
+/// first half of analyze_dataflow, exposed so interprocedural callers
+/// can enrich the facts before solving).
+std::vector<std::vector<StatementFacts>> statement_facts(const Cfg& cfg);
+
+/// Run the fixpoint passes over already-populated (possibly enriched)
+/// facts; `partial.facts` must be aligned with cfg.blocks. The second
+/// half of analyze_dataflow.
+DataflowResult resolve_dataflow(const Cfg& cfg, DataflowResult partial);
+
 /// The five forward sets as a block-local cursor: checkers replay a
 /// block statement-by-statement, inspecting the state *before* each
 /// statement, using exactly the transfer functions the solver used.
@@ -72,8 +82,13 @@ struct FlowState {
 FlowState state_at_entry(const DataflowResult& dataflow, std::size_t block);
 void advance(FlowState& state, const StatementFacts& facts);
 
-/// Vocabulary shared by the fact extractor and the checkers.
+/// Vocabulary shared by the fact extractor, the checkers, and the
+/// interprocedural summary pass.
 bool is_allocator(std::string_view name);
 bool is_deallocator(std::string_view name);
+
+/// Allocation-size argument position of a raw allocator; -1 when `name`
+/// is not one (calloc is excluded: its two-argument form is the fix).
+int alloc_size_arg(std::string_view name);
 
 }  // namespace patchdb::analysis

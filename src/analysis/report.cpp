@@ -76,6 +76,38 @@ std::string render_report(const PatchAnalysis& analysis, const ReportOptions& op
     out += '\n';
   }
 
+  if (analysis.interproc) {
+    out += "  call graph: ";
+    out += std::to_string(analysis.before.interproc.call_edges);
+    out += " -> ";
+    out += std::to_string(analysis.after.interproc.call_edges);
+    out += " edges (";
+    if (analysis.net_call_edges >= 0) out += '+';
+    out += std::to_string(analysis.net_call_edges);
+    out += "), ";
+    out += std::to_string(analysis.before.interproc.sccs);
+    out += " -> ";
+    out += std::to_string(analysis.after.interproc.sccs);
+    out += " sccs (";
+    out += std::to_string(analysis.after.interproc.recursive_sccs);
+    out += " recursive), ";
+    out += std::to_string(analysis.before.interproc.unresolved_calls);
+    out += " -> ";
+    out += std::to_string(analysis.after.interproc.unresolved_calls);
+    out += " unresolved calls\n";
+    out += "  summaries: ";
+    out += std::to_string(analysis.before.interproc.flagged_summaries);
+    out += " -> ";
+    out += std::to_string(analysis.after.interproc.flagged_summaries);
+    out += " flagged, ";
+    out += std::to_string(analysis.summary_changes);
+    out += " changed by the patch; changed functions carry fan-in ";
+    out += std::to_string(analysis.changed_fan_in);
+    out += ", fan-out ";
+    out += std::to_string(analysis.changed_fan_out);
+    out += '\n';
+  }
+
   if (options.show_diagnostics) {
     if (!analysis.resolved.empty()) {
       out += "resolved by this patch:\n";

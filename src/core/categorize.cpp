@@ -110,9 +110,13 @@ bool pure_move(const ChangeView& view) {
 /// Last-resort tie-break from checker evidence: if the patch resolves
 /// diagnostics of some checker, map that checker to the Table V type the
 /// fix corresponds to. Returns kOther when no checker fired.
-corpus::PatchType semantic_tiebreak(const diff::Patch& patch) {
+corpus::PatchType semantic_tiebreak(const diff::Patch& patch,
+                                    const CategorizeOptions& options) {
   using corpus::PatchType;
-  const analysis::PatchAnalysis pa = analysis::analyze_patch(patch);
+  analysis::AnalyzeOptions analyze_options;
+  analyze_options.interproc = options.interproc;
+  const analysis::PatchAnalysis pa =
+      analysis::analyze_patch(patch, analyze_options);
 
   std::size_t best_checker = analysis::kCheckerCount;
   std::size_t best_resolved = 0;
@@ -146,7 +150,8 @@ corpus::PatchType semantic_tiebreak(const diff::Patch& patch) {
 
 }  // namespace
 
-corpus::PatchType categorize(const diff::Patch& patch) {
+corpus::PatchType categorize(const diff::Patch& patch,
+                             const CategorizeOptions& options) {
   const ChangeView view = collect(patch);
   using corpus::PatchType;
 
@@ -295,7 +300,11 @@ corpus::PatchType categorize(const diff::Patch& patch) {
 
   // Every syntactic rule came up empty; let the CFG checkers vote before
   // giving up on the patch as kOther.
-  return semantic_tiebreak(patch);
+  return semantic_tiebreak(patch, options);
+}
+
+corpus::PatchType categorize(const diff::Patch& patch) {
+  return categorize(patch, CategorizeOptions{});
 }
 
 }  // namespace patchdb::core

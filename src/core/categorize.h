@@ -12,6 +12,15 @@
 
 namespace patchdb::core {
 
+struct CategorizeOptions {
+  /// Run the checker tie-break with the interprocedural engine
+  /// (analysis/callgraph.h, analysis/summary.h) so cross-function fixes
+  /// — a guard added inside a callee, a wrapper-free use-after-free —
+  /// count as checker evidence. Off by default: the default categorize()
+  /// stays bit-identical to the intraprocedural cascade.
+  bool interproc = false;
+};
+
 /// Classify a patch's code change into a Table V category. When the
 /// syntactic rule cascade is inconclusive (would fall through to
 /// kOther), the CFG-based checkers break the tie: a patch whose AFTER
@@ -19,5 +28,7 @@ namespace patchdb::core {
 /// as an added null check even if the guard's text eluded the line
 /// rules.
 corpus::PatchType categorize(const diff::Patch& patch);
+corpus::PatchType categorize(const diff::Patch& patch,
+                             const CategorizeOptions& options);
 
 }  // namespace patchdb::core

@@ -52,6 +52,17 @@ constexpr std::array<std::string_view, kSemanticFeatureCount> kSemanticNames = {
     "sem_cfg_net_cyclomatic",
 };
 
+constexpr std::array<std::string_view, kInterprocFeatureCount> kInterprocNames = {
+    "ip_resolved_diags",
+    "ip_introduced_diags",
+    "ip_resolved_delta",
+    "ip_introduced_delta",
+    "ip_net_call_edges",
+    "ip_changed_fan_in",
+    "ip_changed_fan_out",
+    "ip_summary_changes",
+};
+
 /// Write the added/removed/total/net quad for one syntactic category.
 void write_quad(FeatureVector& v, std::size_t base, double added, double removed) {
   v[base] = added;
@@ -66,13 +77,19 @@ std::span<const std::string_view> feature_names() { return kNames; }
 
 std::span<const std::string_view> feature_names(FeatureSpace space) {
   if (space == FeatureSpace::kSyntactic) return kNames;
-  static const std::array<std::string_view, kExtendedFeatureCount> kAll = [] {
-    std::array<std::string_view, kExtendedFeatureCount> all{};
-    std::copy(kNames.begin(), kNames.end(), all.begin());
-    std::copy(kSemanticNames.begin(), kSemanticNames.end(),
-              all.begin() + kFeatureCount);
-    return all;
-  }();
+  static const std::array<std::string_view, kInterprocExtendedFeatureCount> kAll =
+      [] {
+        std::array<std::string_view, kInterprocExtendedFeatureCount> all{};
+        std::copy(kNames.begin(), kNames.end(), all.begin());
+        std::copy(kSemanticNames.begin(), kSemanticNames.end(),
+                  all.begin() + kFeatureCount);
+        std::copy(kInterprocNames.begin(), kInterprocNames.end(),
+                  all.begin() + kExtendedFeatureCount);
+        return all;
+      }();
+  if (space == FeatureSpace::kSemantic) {
+    return {kAll.data(), kExtendedFeatureCount};
+  }
   return kAll;
 }
 
@@ -222,6 +239,31 @@ ExtendedFeatureVector extract_extended(const diff::Patch& patch) {
   return extract_extended(patch, RepoContext{});
 }
 
+InterprocFeatureVector extract_interproc(const diff::Patch& patch,
+                                         const RepoContext& repo) {
+  InterprocFeatureVector v{};
+  const ExtendedFeatureVector base = extract_extended(patch, repo);
+  std::copy(base.begin(), base.end(), v.begin());
+
+  const analysis::PatchAnalysis ip =
+      analysis::analyze_patch(patch, analysis::AnalyzeOptions{.interproc = true});
+  v[72] = static_cast<double>(ip.resolved.size());
+  v[73] = static_cast<double>(ip.introduced.size());
+  // What only the cross-function view can see: interprocedural counts
+  // minus the intraprocedural ones already sitting at dims 60/61.
+  v[74] = v[72] - base[60];
+  v[75] = v[73] - base[61];
+  v[76] = static_cast<double>(ip.net_call_edges);
+  v[77] = static_cast<double>(ip.changed_fan_in);
+  v[78] = static_cast<double>(ip.changed_fan_out);
+  v[79] = static_cast<double>(ip.summary_changes);
+  return v;
+}
+
+InterprocFeatureVector extract_interproc(const diff::Patch& patch) {
+  return extract_interproc(patch, RepoContext{});
+}
+
 FeatureMatrix extract_all(std::span<const diff::Patch> patches, FeatureSpace space) {
   FeatureMatrix matrix(patches.size(), feature_dims(space));
   util::default_pool().parallel_for(
@@ -229,8 +271,10 @@ FeatureMatrix extract_all(std::span<const diff::Patch> patches, FeatureSpace spa
         for (std::size_t i = begin; i < end; ++i) {
           if (space == FeatureSpace::kSyntactic) {
             matrix.set_row(i, extract(patches[i]));
-          } else {
+          } else if (space == FeatureSpace::kSemantic) {
             matrix.set_row(i, extract_extended(patches[i]));
+          } else {
+            matrix.set_row(i, extract_interproc(patches[i]));
           }
         }
       });

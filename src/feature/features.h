@@ -39,6 +39,18 @@
 //   69-71  CFG shape deltas, AFTER minus BEFORE: basic blocks, edges,
 //          cyclomatic complexity
 // The default space stays bit-identical to the original 60 dimensions.
+//
+// FeatureSpace::kInterproc appends 8 more dimensions on top of the 72,
+// computed by the opt-in interprocedural engine (analysis/callgraph.h,
+// analysis/summary.h). Dimensions 0-71 stay bit-identical to kSemantic:
+//   72     diagnostics resolved under interprocedural analysis
+//   73     diagnostics introduced under interprocedural analysis
+//   74     interprocedural minus intraprocedural resolved count — the
+//          cross-function defects only the summaries can see
+//   75     same delta for introduced diagnostics
+//   76     net resolved call-graph edges (AFTER minus BEFORE)
+//   77-78  total fan-in / fan-out of the functions the patch changed
+//   79     functions whose summary signature the patch changed
 #pragma once
 
 #include <array>
@@ -55,18 +67,28 @@ inline constexpr std::size_t kFeatureCount = 60;
 inline constexpr std::size_t kSemanticFeatureCount = 12;
 inline constexpr std::size_t kExtendedFeatureCount =
     kFeatureCount + kSemanticFeatureCount;
+inline constexpr std::size_t kInterprocFeatureCount = 8;
+inline constexpr std::size_t kInterprocExtendedFeatureCount =
+    kExtendedFeatureCount + kInterprocFeatureCount;
 
 /// Which representation a pipeline stage runs on. kSyntactic is the
 /// paper's Table I space and the default everywhere; kSemantic appends
-/// the 12 analysis-derived dimensions.
-enum class FeatureSpace { kSyntactic, kSemantic };
+/// the 12 analysis-derived dimensions, kInterproc a further 8 from the
+/// call-graph + summary engine.
+enum class FeatureSpace { kSyntactic, kSemantic, kInterproc };
 
 constexpr std::size_t feature_dims(FeatureSpace space) noexcept {
-  return space == FeatureSpace::kSyntactic ? kFeatureCount : kExtendedFeatureCount;
+  switch (space) {
+    case FeatureSpace::kSyntactic: return kFeatureCount;
+    case FeatureSpace::kSemantic: return kExtendedFeatureCount;
+    case FeatureSpace::kInterproc: return kInterprocExtendedFeatureCount;
+  }
+  return kFeatureCount;
 }
 
 using FeatureVector = std::array<double, kFeatureCount>;
 using ExtendedFeatureVector = std::array<double, kExtendedFeatureCount>;
+using InterprocFeatureVector = std::array<double, kInterprocExtendedFeatureCount>;
 
 /// Human-readable names, index-aligned with the vector of the space.
 std::span<const std::string_view> feature_names();  // the 60 Table I names
@@ -90,6 +112,13 @@ FeatureVector extract(const diff::Patch& patch, const RepoContext& repo);
 ExtendedFeatureVector extract_extended(const diff::Patch& patch);
 ExtendedFeatureVector extract_extended(const diff::Patch& patch,
                                        const RepoContext& repo);
+
+/// Extract the interprocedural vector: dimensions 0-71 are bit-identical
+/// to extract_extended(), 72-79 diff an interprocedural analysis run
+/// against the intraprocedural one.
+InterprocFeatureVector extract_interproc(const diff::Patch& patch);
+InterprocFeatureVector extract_interproc(const diff::Patch& patch,
+                                         const RepoContext& repo);
 
 /// Row-major feature matrix for a set of patches. Width is fixed per
 /// matrix (one FeatureSpace), chosen at construction.

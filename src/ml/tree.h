@@ -54,8 +54,10 @@ class DecisionTree : public Classifier {
                      std::size_t begin, std::size_t end, std::size_t depth,
                      util::Rng& rng);
 
-  TreeOptions options_;
-  std::vector<Node> nodes_;
+  // Protected by design: REPTree's pruning pass rewrites the node array
+  // in place after the base grower finishes.
+  TreeOptions options_;        // NOLINT(misc-non-private-member-variables-in-classes)
+  std::vector<Node> nodes_;    // NOLINT(misc-non-private-member-variables-in-classes)
 };
 
 /// Reduced Error Pruning tree: grows a full CART tree on 2/3 of the

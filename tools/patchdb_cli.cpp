@@ -14,12 +14,15 @@
 //       Verify an exported dataset and/or checkpoint directory: manifest
 //       and features checksums, strict row parsing, per-patch content
 //       checksums, orphaned files. Exit 1 when anything is corrupted.
-//   patchdb features FILE.patch [--all] [--semantic]
+//   patchdb features FILE.patch [--all] [--semantic] [--interproc]
 //       Print the Table I feature vector of a patch file (--semantic
-//       appends the 12 CFG/checker dimensions).
-//   patchdb analyze FILE.patch [--unchanged]
+//       appends the 12 CFG/checker dimensions, --interproc a further 8
+//       call-graph/summary dimensions).
+//   patchdb analyze FILE.patch [--unchanged] [--interproc]
 //       Run the CFG security checkers on the BEFORE and AFTER versions
 //       of each patched file and report resolved/introduced diagnostics.
+//       --interproc layers the call graph and function summaries on top,
+//       so checkers see through calls between patched functions.
 //   patchdb categorize FILE.patch
 //       Print the Table V code-change category of a patch file.
 //   patchdb tokens FILE.patch
@@ -73,8 +76,8 @@ int usage() {
                "        [--checkpoint-dir D] [--resume]\n"
                "  stats DIR\n"
                "  fsck DIR\n"
-               "  features FILE.patch [--all] [--semantic]\n"
-               "  analyze FILE.patch [--unchanged]\n"
+               "  features FILE.patch [--all] [--semantic] [--interproc]\n"
+               "  analyze FILE.patch [--unchanged] [--interproc]\n"
                "  categorize FILE.patch\n"
                "  tokens FILE.patch\n"
                "  variants \"CONDITION\"\n"
@@ -255,12 +258,18 @@ int cmd_fsck(const std::string& dir) {
   return 0;
 }
 
-int cmd_features(const std::string& path, bool all, bool semantic) {
+int cmd_features(const std::string& path, bool all, bool semantic,
+                 bool interproc) {
   const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
-  const feature::FeatureSpace space = semantic ? feature::FeatureSpace::kSemantic
-                                               : feature::FeatureSpace::kSyntactic;
+  const feature::FeatureSpace space =
+      interproc ? feature::FeatureSpace::kInterproc
+                : semantic ? feature::FeatureSpace::kSemantic
+                           : feature::FeatureSpace::kSyntactic;
   std::vector<double> v;
-  if (semantic) {
+  if (interproc) {
+    const feature::InterprocFeatureVector e = feature::extract_interproc(patch);
+    v.assign(e.begin(), e.end());
+  } else if (semantic) {
     const feature::ExtendedFeatureVector e = feature::extract_extended(patch);
     v.assign(e.begin(), e.end());
   } else {
@@ -278,9 +287,12 @@ int cmd_features(const std::string& path, bool all, bool semantic) {
   return 0;
 }
 
-int cmd_analyze(const std::string& path, bool show_unchanged) {
+int cmd_analyze(const std::string& path, bool show_unchanged, bool interproc) {
   const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
-  const analysis::PatchAnalysis pa = analysis::analyze_patch(patch);
+  analysis::AnalyzeOptions analyze_options;
+  analyze_options.interproc = interproc;
+  const analysis::PatchAnalysis pa =
+      analysis::analyze_patch(patch, analyze_options);
   std::printf("commit %s: %zu files, %zu hunks\n", patch.commit.c_str(),
               patch.files.size(), patch.hunk_count());
   analysis::ReportOptions options;
@@ -418,10 +430,11 @@ int main(int argc, char** argv) {
     if (command == "fsck") return cmd_fsck(flags.positional());
     if (command == "features") {
       return cmd_features(flags.positional(), flags.has("--all"),
-                          flags.has("--semantic"));
+                          flags.has("--semantic"), flags.has("--interproc"));
     }
     if (command == "analyze") {
-      return cmd_analyze(flags.positional(), flags.has("--unchanged"));
+      return cmd_analyze(flags.positional(), flags.has("--unchanged"),
+                         flags.has("--interproc"));
     }
     if (command == "categorize") return cmd_categorize(flags.positional());
     if (command == "tokens") return cmd_tokens(flags.positional());
