@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,7 +22,9 @@
 #include "nn/encode.h"
 #include "nn/gru.h"
 #include "nn/vocab.h"
+#include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/progress.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -30,8 +33,18 @@ namespace patchdb::bench {
 inline double parse_scale(int argc, char** argv) {
   // google-benchmark style flags (e.g. --benchmark_filter) are ignored.
   if (argc > 1 && argv[1][0] != '-') {
-    const double s = std::atof(argv[1]);
-    if (s > 0.0) return s;
+    // Full-consumption parse: "5x" or "1.5GB" is a typo'd run that
+    // would otherwise silently bench the wrong scale — fail loudly.
+    char* end = nullptr;
+    const double s = std::strtod(argv[1], &end);
+    if (end == argv[1] || *end != '\0' || !(s > 0.0)) {
+      std::fprintf(stderr,
+                   "bench: bad scale \"%s\" (want a positive number, e.g. 1 "
+                   "or 0.25 or 5)\n",
+                   argv[1]);
+      std::exit(2);
+    }
+    return s;
   }
   return 1.0;
 }
@@ -144,34 +157,75 @@ inline void print_header(const std::string& title, double scale) {
   std::printf("================================================================\n\n");
 }
 
-/// `--metrics-out FILE` (either `--metrics-out FILE` or
-/// `--metrics-out=FILE`, any argv position). Empty when absent.
-inline std::string parse_metrics_out(int argc, char** argv) {
+/// Value of `--NAME FILE` / `--NAME=FILE` at any argv position. Empty
+/// when absent.
+inline std::string parse_flag_value(int argc, char** argv,
+                                    std::string_view name) {
+  const std::string eq_form = "--" + std::string(name) + "=";
+  const std::string flag_form = "--" + std::string(name);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--metrics-out" && i + 1 < argc) return argv[i + 1];
-    if (arg.rfind("--metrics-out=", 0) == 0) {
-      return std::string(arg.substr(std::string_view("--metrics-out=").size()));
+    if (arg == flag_form && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(eq_form, 0) == 0) {
+      return std::string(arg.substr(eq_form.size()));
     }
   }
   return {};
 }
 
+inline bool parse_flag_present(int argc, char** argv, std::string_view name) {
+  const std::string flag_form = "--" + std::string(name);
+  for (int i = 1; i < argc; ++i) {
+    if (flag_form == argv[i]) return true;
+  }
+  return false;
+}
+
+inline std::string parse_metrics_out(int argc, char** argv) {
+  return parse_flag_value(argc, argv, "metrics-out");
+}
+
 /// Per-bench observability session. Construct it first thing in main():
-/// it parses the scale and `--metrics-out`, prints the bench header, and
-/// installs an obs::ObsSession so every instrumented pipeline stage the
-/// bench touches records into one registry. Call add_items() with the
-/// bench's natural unit of work; finish() (implicit in the destructor)
-/// prints the one-line summary — items, wall ms, items/s — straight
-/// from the registry and writes the full RunReport JSON when
-/// `--metrics-out` was given.
+/// it parses the scale plus the shared obs flags, prints the bench
+/// header, and installs an obs::ObsSession so every instrumented
+/// pipeline stage the bench touches records into one registry. Shared
+/// flags (any argv position, `--flag V` or `--flag=V`):
+///
+///   --metrics-out FILE   write the RunReport JSON
+///   --trace-out FILE     write a Chrome trace (load in Perfetto)
+///   --sample-ms N        run a ResourceSampler at N ms (default 50
+///                        whenever --trace-out or --metrics-out is on)
+///   --progress[-ms N]    heartbeat lines from instrumented loops
+///
+/// Call add_items() with the bench's natural unit of work; finish()
+/// (implicit in the destructor) prints the one-line summary — items,
+/// wall ms, items/s — straight from the registry and writes the
+/// requested artifacts.
 class Session {
  public:
   Session(const std::string& title, int argc, char** argv)
       : scale_(parse_scale(argc, argv)),
         metrics_out_(parse_metrics_out(argc, argv)),
+        trace_out_(parse_flag_value(argc, argv, "trace-out")),
         obs_(title) {
     print_header(title, scale_);
+    if (parse_flag_present(argc, argv, "progress")) {
+      obs::set_progress_interval_ms(1000);
+    }
+    const std::string progress_ms = parse_flag_value(argc, argv, "progress-ms");
+    if (!progress_ms.empty()) {
+      obs::set_progress_interval_ms(
+          static_cast<std::uint64_t>(std::strtoull(progress_ms.c_str(), nullptr, 10)));
+    }
+    if (obs_.installed() && (!trace_out_.empty() || !metrics_out_.empty())) {
+      obs::ResourceSampler::Options opt;
+      const std::string sample_ms = parse_flag_value(argc, argv, "sample-ms");
+      opt.interval = std::chrono::milliseconds(
+          sample_ms.empty() ? 50 : std::strtoll(sample_ms.c_str(), nullptr, 10));
+      sampler_ = std::make_unique<obs::ResourceSampler>(opt);
+      obs_.attach_sampler(sampler_.get());
+      sampler_->start();
+    }
   }
   ~Session() { finish(); }
   Session(const Session&) = delete;
@@ -187,6 +241,7 @@ class Session {
   void finish() {
     if (finished_) return;
     finished_ = true;
+    if (sampler_) sampler_->stop();
     const obs::RunReport report = obs_.report();
     const std::uint64_t items = report.metrics.counter("bench.items");
     const double rate =
@@ -200,12 +255,19 @@ class Session {
       obs::write_report_file(report, metrics_out_);
       std::printf("[bench] metrics written to %s\n", metrics_out_.c_str());
     }
+    if (!trace_out_.empty()) {
+      obs::write_trace_file(report, trace_out_);
+      std::printf("[bench] trace written to %s (load in Perfetto)\n",
+                  trace_out_.c_str());
+    }
   }
 
  private:
   double scale_;
   std::string metrics_out_;
+  std::string trace_out_;
   obs::ObsSession obs_;
+  std::unique_ptr<obs::ResourceSampler> sampler_;
   bool finished_ = false;
 };
 

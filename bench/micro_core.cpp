@@ -4,6 +4,8 @@
 // diff, commit fabrication, patch synthesis, and GRU inference.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "nn/encode.h"
 #include "nn/gru.h"
 #include "nn/vocab.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "synth/synthesize.h"
@@ -239,22 +242,39 @@ BENCHMARK(BM_GruInference);
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): google-benchmark aborts on
-// flags it does not know, so --metrics-out is peeled off argv first.
-// When given, the whole run executes under an ObsSession and the
+// flags it does not know, so the obs flags (--metrics-out, --trace-out,
+// --sample-ms) are peeled off argv first. When given, the whole run
+// executes under an ObsSession with a ResourceSampler and the
 // counters/spans the kernels record (distance.tiles, nearest_link.*)
-// land in a machine-readable report — this is what the CI bench-smoke
-// job uploads as an artifact.
+// land in machine-readable artifacts — this is what the CI bench-smoke
+// job uploads.
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string trace_out;
+  long sample_ms = 50;
   std::vector<char*> args;
+  const auto peel = [&](std::string_view arg, std::string_view name,
+                        int& i, std::string& out) {
+    const std::string flag = "--" + std::string(name);
+    if (arg == flag && i + 1 < argc) {
+      out = argv[++i];
+      return true;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+      out = arg.substr(flag.size() + 1);
+      return true;
+    }
+    return false;
+  };
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--metrics-out") {
-      if (i + 1 < argc) metrics_out = argv[++i];
+    std::string sample_value;
+    if (peel(arg, "metrics-out", i, metrics_out) ||
+        peel(arg, "trace-out", i, trace_out)) {
       continue;
     }
-    if (arg.rfind("--metrics-out=", 0) == 0) {
-      metrics_out = arg.substr(std::string_view("--metrics-out=").size());
+    if (peel(arg, "sample-ms", i, sample_value)) {
+      sample_ms = std::strtol(sample_value.c_str(), nullptr, 10);
       continue;
     }
     args.push_back(argv[i]);
@@ -266,9 +286,23 @@ int main(int argc, char** argv) {
   }
   {
     patchdb::obs::ObsSession session("micro_core");
+    patchdb::obs::ResourceSampler sampler(
+        {.interval = std::chrono::milliseconds(sample_ms > 0 ? sample_ms : 50)});
+    const bool want_artifacts = !metrics_out.empty() || !trace_out.empty();
+    if (session.installed() && want_artifacts) {
+      session.attach_sampler(&sampler);
+      sampler.start();
+    }
     benchmark::RunSpecifiedBenchmarks();
-    if (!metrics_out.empty()) {
-      patchdb::obs::write_report_file(session.report(), metrics_out);
+    sampler.stop();
+    if (want_artifacts) {
+      const patchdb::obs::RunReport report = session.report();
+      if (!metrics_out.empty()) {
+        patchdb::obs::write_report_file(report, metrics_out);
+      }
+      if (!trace_out.empty()) {
+        patchdb::obs::write_trace_file(report, trace_out);
+      }
     }
   }
   benchmark::Shutdown();

@@ -6,6 +6,7 @@
 
 #include "core/nearest_link.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
@@ -21,6 +22,9 @@ feature::FeatureMatrix extract_records(
   feature::FeatureMatrix matrix(records.size());
   util::default_pool().parallel_for(
       records.size(), [&](std::size_t begin, std::size_t end) {
+        // Opened on the worker running the chunk, so traces grow one
+        // track per pool thread alongside the caller's.
+        PATCHDB_TRACE_SPAN("augment.extract_features.chunk");
         for (std::size_t i = begin; i < end; ++i) {
           matrix.set_row(i, feature::extract(records[i]->patch));
         }
@@ -79,9 +83,12 @@ RoundStats AugmentationLoop::run_round() {
   std::vector<char> verdict(selected.size(), 0);
   {
     PATCHDB_TRACE_SPAN("augment.verify");
+    obs::Progress progress("augment.verify r" + std::to_string(stats.round),
+                           selected.size());
     for (std::size_t i = 0; i < selected.size(); ++i) {
       verdict[i] =
           oracle_.verify_security(pool_[selected[i]]->patch.commit) ? 1 : 0;
+      progress.tick();
     }
   }
 
@@ -137,8 +144,13 @@ RoundStats AugmentationLoop::run_round() {
 }
 
 std::vector<RoundStats> AugmentationLoop::run(const AugmentOptions& options) {
+  // max_rounds is an upper bound, not a prediction — the loop usually
+  // stops on the hit-ratio criterion first, so the heartbeat reports
+  // round throughput against the cap.
+  obs::Progress progress("augment.rounds", options.max_rounds);
   while (rounds_run_ < options.max_rounds && !finished_) {
     const RoundStats stats = run_round();
+    progress.tick();
     if (stats.candidates == 0 || stats.ratio < options.stop_ratio) {
       finished_ = true;
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -140,9 +141,11 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
   std::vector<double> col_norm(tile);
   std::vector<double> col_norm_s(tile);
   std::size_t tiles = 0;
+  obs::Progress tile_progress("link.tiles", (n + tile - 1) / tile);
   for (std::size_t tile_begin = 0; tile_begin < n; tile_begin += tile) {
     const std::size_t tile_end = std::min(tile_begin + tile, n);
     ++tiles;
+    tile_progress.tick();
     util::default_pool().parallel_for(
         tile_end - tile_begin, [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {

@@ -1,0 +1,186 @@
+#include "obs/diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace patchdb::obs {
+
+namespace {
+
+std::optional<double> histogram_stat(const HistogramSnapshot& h,
+                                     std::string_view stat) {
+  if (stat == "count") return static_cast<double>(h.count);
+  if (stat == "mean") return h.mean();
+  if (stat == "max") return h.count > 0 ? h.max : 0.0;
+  if (stat.size() > 1 && stat.front() == 'p') {
+    char* end = nullptr;
+    const std::string digits(stat.substr(1));
+    const double q = std::strtod(digits.c_str(), &end);
+    if (end != digits.c_str() && *end == '\0' && q > 0.0 && q < 100.0) {
+      return h.quantile(q / 100.0);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Strict full-consumption double parse; rejects "", "5x", "nan".
+bool parse_number(std::string_view text, double& out) {
+  const std::string owned(text);
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0' || !std::isfinite(v)) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> lookup_metric(const RunReport& report,
+                                    std::string_view name) {
+  if (name == "wall_ms") return report.wall_ms;
+
+  const std::size_t at = name.rfind('@');
+  if (at != std::string_view::npos) {
+    const std::string_view hist_name = name.substr(0, at);
+    const std::string_view stat = name.substr(at + 1);
+    for (const HistogramSnapshot& h : report.metrics.histograms) {
+      if (h.name == hist_name) return histogram_stat(h, stat);
+    }
+    return std::nullopt;
+  }
+
+  if (const auto it = report.metrics.counters.find(std::string(name));
+      it != report.metrics.counters.end()) {
+    return static_cast<double>(it->second);
+  }
+  if (const auto it = report.metrics.gauges.find(std::string(name));
+      it != report.metrics.gauges.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<DiffResult> diff_reports(const RunReport& baseline,
+                                     const RunReport& candidate,
+                                     const std::vector<DiffRule>& rules) {
+  std::vector<DiffResult> results;
+  results.reserve(rules.size());
+
+  for (const DiffRule& rule : rules) {
+    DiffResult r;
+    r.rule = rule;
+    r.baseline = lookup_metric(baseline, rule.metric);
+    r.candidate = lookup_metric(candidate, rule.metric);
+
+    if (rule.kind == DiffRule::Kind::kRequire) {
+      if (!r.candidate) {
+        r.ok = false;
+        r.message = "FAIL " + rule.metric + " missing from candidate";
+      } else if (rule.has_required_value &&
+                 *r.candidate != rule.required_value) {
+        r.ok = false;
+        r.message = "FAIL " + rule.metric + " = " + format_value(*r.candidate) +
+                    " (required " + format_value(rule.required_value) + ")";
+      } else {
+        r.ok = true;
+        r.message = "OK   " + rule.metric + " = " + format_value(*r.candidate);
+      }
+      results.push_back(std::move(r));
+      continue;
+    }
+
+    if (!r.baseline || !r.candidate) {
+      r.ok = false;
+      r.message = "FAIL " + rule.metric + " missing from " +
+                  (!r.baseline ? "baseline" : "candidate");
+      results.push_back(std::move(r));
+      continue;
+    }
+
+    const double base = *r.baseline;
+    const double cand = *r.candidate;
+    // Relative change in percent; a zero baseline only passes when the
+    // candidate is also zero (any change from 0 is unbounded).
+    double change_pct = 0.0;
+    bool unbounded = false;
+    if (base != 0.0) {
+      change_pct = 100.0 * (cand - base) / std::fabs(base);
+    } else if (cand != 0.0) {
+      unbounded = true;
+    }
+
+    const bool increase_rule = rule.kind == DiffRule::Kind::kMaxIncrease;
+    if (unbounded) {
+      r.ok = false;
+    } else if (increase_rule) {
+      r.ok = change_pct <= rule.threshold_pct;
+    } else {
+      r.ok = change_pct >= -rule.threshold_pct;
+    }
+
+    char detail[160];
+    std::snprintf(detail, sizeof(detail), "%s -> %s (%+.1f%%, limit %s%.1f%%)",
+                  format_value(base).c_str(), format_value(cand).c_str(),
+                  unbounded ? (cand > 0 ? 100.0 : -100.0) : change_pct,
+                  increase_rule ? "+" : "-", rule.threshold_pct);
+    r.message =
+        std::string(r.ok ? "OK   " : "FAIL ") + rule.metric + " " + detail;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+bool parse_threshold_spec(std::string_view spec, DiffRule::Kind kind,
+                          DiffRule& out, std::string& error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    error = "expected metric:PCT, got \"" + std::string(spec) + "\"";
+    return false;
+  }
+  std::string_view pct = spec.substr(colon + 1);
+  if (!pct.empty() && pct.back() == '%') pct.remove_suffix(1);
+  double threshold = 0.0;
+  if (!parse_number(pct, threshold) || threshold < 0.0) {
+    error = "bad threshold in \"" + std::string(spec) +
+            "\" (want a non-negative percentage)";
+    return false;
+  }
+  out.kind = kind;
+  out.metric = std::string(spec.substr(0, colon));
+  out.threshold_pct = threshold;
+  out.has_required_value = false;
+  return true;
+}
+
+bool parse_require_spec(std::string_view spec, DiffRule& out,
+                        std::string& error) {
+  if (spec.empty()) {
+    error = "expected metric or metric=VALUE";
+    return false;
+  }
+  out.kind = DiffRule::Kind::kRequire;
+  const std::size_t eq = spec.rfind('=');
+  if (eq == std::string_view::npos) {
+    out.metric = std::string(spec);
+    out.has_required_value = false;
+    return true;
+  }
+  if (eq == 0 || eq + 1 == spec.size() ||
+      !parse_number(spec.substr(eq + 1), out.required_value)) {
+    error = "bad required value in \"" + std::string(spec) + "\"";
+    return false;
+  }
+  out.metric = std::string(spec.substr(0, eq));
+  out.has_required_value = true;
+  return true;
+}
+
+}  // namespace patchdb::obs

@@ -1,0 +1,66 @@
+// Perf-regression comparator for RunReport artifacts. Given a baseline
+// report (checked into bench/) and a candidate (the run just produced),
+// evaluate per-metric threshold rules and report which ones regressed.
+// The `tools/bench_diff` CLI is a thin wrapper; the rule engine lives
+// here so it is unit-testable without spawning processes.
+//
+// Metric names resolve in order: the literal "wall_ms", then counters,
+// then gauges, then histogram statistics addressed with an `@` suffix —
+// "link.tile_ms@p95", "@p50", "@mean", "@max", "@count".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace patchdb::obs {
+
+struct DiffRule {
+  enum class Kind {
+    kMaxIncrease,  // candidate may exceed baseline by at most threshold_pct
+    kMaxDecrease,  // candidate may fall below baseline by at most threshold_pct
+    kRequire,      // metric must exist in the candidate (and match
+                   // required_value when one is given)
+  };
+
+  Kind kind = Kind::kMaxIncrease;
+  std::string metric;
+  double threshold_pct = 0.0;
+  double required_value = 0.0;
+  bool has_required_value = false;
+};
+
+struct DiffResult {
+  DiffRule rule;
+  std::optional<double> baseline;
+  std::optional<double> candidate;
+  bool ok = false;
+  /// One human line: "OK wall_ms 812.4 -> 790.1 (-2.7%, limit +50%)".
+  std::string message;
+};
+
+/// Resolve `name` against `report` (see header comment for the order).
+/// Returns nullopt when the metric does not exist in this report.
+std::optional<double> lookup_metric(const RunReport& report,
+                                    std::string_view name);
+
+/// Evaluate every rule. A rule whose metric is missing from either side
+/// fails (missing baseline metrics are a stale-baseline bug worth
+/// failing loudly on, not skipping).
+std::vector<DiffResult> diff_reports(const RunReport& baseline,
+                                     const RunReport& candidate,
+                                     const std::vector<DiffRule>& rules);
+
+/// Parse one CLI rule spec:
+///   "metric:PCT"          (for --max-increase / --max-decrease)
+///   "metric" / "metric=V" (for --require)
+/// Returns false and sets `error` on a malformed spec.
+bool parse_threshold_spec(std::string_view spec, DiffRule::Kind kind,
+                          DiffRule& out, std::string& error);
+bool parse_require_spec(std::string_view spec, DiffRule& out,
+                        std::string& error);
+
+}  // namespace patchdb::obs

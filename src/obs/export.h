@@ -1,0 +1,27 @@
+// Chrome trace-event exporter: converts a RunReport into the Trace
+// Event "JSON object format" that chrome://tracing and Perfetto load
+// directly. Per-thread metadata events name the tracks, every completed
+// SpanRecord becomes one "X" (complete) duration event whose ts/dur
+// nest exactly as the spans did, and the resource timeline (when the
+// report carries one) becomes "C" counter tracks — RSS, process CPU
+// rate, pool backlog, span drops — under the flame graph. Everything is
+// emitted through obs::Json, so an exported trace parses back through
+// the repo's own parser (the golden test relies on that).
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace patchdb::obs {
+
+/// The whole report as one loadable trace document:
+///   {"displayTimeUnit": "ms", "otherData": {...}, "traceEvents": [...]}
+Json trace_events_json(const RunReport& report);
+
+/// Serialize and write the trace for `report` to `path`. Throws
+/// std::runtime_error on I/O failure.
+void write_trace_file(const RunReport& report, const std::string& path);
+
+}  // namespace patchdb::obs

@@ -1,6 +1,15 @@
 #include "obs/obs.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace patchdb::obs {
+
+bool obs_env_disabled() noexcept {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup
+  const char* value = std::getenv("PATCHDB_OBS_DISABLED");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
 
 void attach_pool(util::ThreadPool& pool) {
   util::ThreadPool::Observer observer;
@@ -23,13 +32,16 @@ void detach_pool(util::ThreadPool& pool) { pool.set_observer({}); }
 ObsSession::ObsSession(std::string name, Options options)
     : name_(std::move(name)),
       options_(options),
+      installed_(!obs_env_disabled()),
       start_(std::chrono::steady_clock::now()) {
+  if (!installed_) return;  // inert session: all sinks stay as they were
   previous_registry_ = install_registry(&registry_);
   previous_tracer_ = install_tracer(&tracer_);
   if (options_.attach_default_pool) attach_pool(util::default_pool());
 }
 
 ObsSession::~ObsSession() {
+  if (!installed_) return;
   if (options_.attach_default_pool) detach_pool(util::default_pool());
   install_tracer(previous_tracer_);
   install_registry(previous_registry_);
@@ -56,6 +68,17 @@ RunReport ObsSession::report() const {
   if (busy_us > 0.0 && threads > 0.0 && report.wall_ms > 0.0) {
     const double utilization = busy_us / (report.wall_ms * 1000.0 * threads);
     report.metrics.gauges["pool.utilization"] = utilization;
+  }
+  if (sampler_ != nullptr) {
+    report.resource_timeline = sampler_->samples();
+    // Samples are stamped relative to the sampler's own start; shift
+    // them onto the tracer epoch so the exporter's counter tracks line
+    // up with the span flame graph.
+    const std::int64_t offset =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            sampler_->start_time() - tracer_.epoch())
+            .count();
+    for (ResourceSample& s : report.resource_timeline) s.t_us += offset;
   }
   return report;
 }

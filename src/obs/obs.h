@@ -10,6 +10,12 @@
 //     run_pipeline();
 //     obs::write_report_file(session.report(), "m.json");
 //   }  // sinks restored
+//
+// Setting the PATCHDB_OBS_DISABLED environment variable (to anything
+// but "0" / "") makes sessions inert: no sinks are installed, so every
+// PATCHDB_TRACE_SPAN / counter_add in the pipeline takes its one-load
+// disabled fast path. The obs-overhead CI check runs the same binary
+// in both modes and diffs the wall time.
 #pragma once
 
 #include <chrono>
@@ -17,10 +23,16 @@
 
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace patchdb::obs {
+
+/// True when the PATCHDB_OBS_DISABLED environment variable is set to a
+/// non-empty value other than "0". Checked once per ObsSession
+/// construction (not cached), so tests can flip it.
+bool obs_env_disabled() noexcept;
 
 /// Wire `pool`'s observer to the *globally installed* registry: gauge
 /// `pool.queue_depth`, histogram `pool.queue_depth.dist`, histogram
@@ -48,18 +60,34 @@ class ObsSession {
 
   double elapsed_ms() const;
 
+  /// False when PATCHDB_OBS_DISABLED suppressed sink installation; the
+  /// session then records nothing and report() is empty (name + wall).
+  bool installed() const noexcept { return installed_; }
+
+  /// Borrow a sampler whose timeline report() should fold in. The
+  /// session does not own or start/stop it; callers start() it after
+  /// attaching and stop() it before report(). Sample timestamps are
+  /// re-anchored from the sampler's start to the tracer epoch so they
+  /// share the spans' timebase.
+  void attach_sampler(ResourceSampler* sampler) noexcept {
+    sampler_ = sampler;
+  }
+
   /// Snapshot metrics + spans now. Also derives `pool.utilization`
-  /// (busy time / (wall x threads)) when the pool was attached.
+  /// (busy time / (wall x threads)) when the pool was attached, and
+  /// embeds the attached sampler's timeline (schema stays v2 either way).
   RunReport report() const;
 
  private:
   std::string name_;
   Options options_;
+  bool installed_ = false;
   std::chrono::steady_clock::time_point start_;
   MetricsRegistry registry_;
   Tracer tracer_;
   MetricsRegistry* previous_registry_ = nullptr;
   Tracer* previous_tracer_ = nullptr;
+  ResourceSampler* sampler_ = nullptr;
 };
 
 }  // namespace patchdb::obs

@@ -1,0 +1,102 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+namespace patchdb::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_interval_ms{0};
+
+std::int64_t now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One mutex for line assembly+write so concurrent tickers from pool
+// workers never interleave characters.
+std::mutex& print_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void set_progress_interval_ms(std::uint64_t interval_ms) {
+  g_interval_ms.store(interval_ms, std::memory_order_relaxed);
+}
+
+std::uint64_t progress_interval_ms() noexcept {
+  return g_interval_ms.load(std::memory_order_relaxed);
+}
+
+Progress::Progress(std::string label, std::uint64_t total)
+    : label_(std::move(label)),
+      total_(total),
+      interval_ms_(progress_interval_ms()),
+      start_us_(now_us()),
+      next_emit_us_(start_us_ + static_cast<std::int64_t>(interval_ms_) * 1000) {}
+
+Progress::~Progress() { finish(); }
+
+void Progress::tick(std::uint64_t n) {
+  done_.fetch_add(n, std::memory_order_relaxed);
+  if (interval_ms_ == 0) return;
+  const std::int64_t now = now_us();
+  std::int64_t due = next_emit_us_.load(std::memory_order_relaxed);
+  if (now < due) return;
+  // Whichever ticker wins the CAS prints; losers raced the same line.
+  if (next_emit_us_.compare_exchange_strong(
+          due, now + static_cast<std::int64_t>(interval_ms_) * 1000,
+          std::memory_order_relaxed)) {
+    emit(/*final_line=*/false);
+  }
+}
+
+void Progress::finish() {
+  if (interval_ms_ == 0) return;
+  if (finished_.exchange(true, std::memory_order_relaxed)) return;
+  if (done_.load(std::memory_order_relaxed) == 0) return;
+  emit(/*final_line=*/true);
+}
+
+void Progress::emit(bool final_line) {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::int64_t elapsed_us = now_us() - start_us_;
+  const double elapsed_s =
+      elapsed_us > 0 ? static_cast<double>(elapsed_us) / 1e6 : 1e-6;
+  const double rate = static_cast<double>(done) / elapsed_s;
+
+  char line[256];
+  int len = 0;
+  if (total_ > 0) {
+    const double pct =
+        100.0 * static_cast<double>(done) / static_cast<double>(total_);
+    len = std::snprintf(line, sizeof(line),
+                        "[progress] %s: %" PRIu64 "/%" PRIu64
+                        " (%.1f%%)  %.1f/s",
+                        label_.c_str(), done, total_, pct, rate);
+    if (!final_line && rate > 0.0 && done < total_) {
+      const double eta_s = static_cast<double>(total_ - done) / rate;
+      len += std::snprintf(line + len, sizeof(line) - static_cast<size_t>(len),
+                           "  eta %.0fs", eta_s);
+    }
+  } else {
+    len = std::snprintf(line, sizeof(line),
+                        "[progress] %s: %" PRIu64 "  %.1f/s", label_.c_str(),
+                        done, rate);
+  }
+  if (final_line) {
+    std::snprintf(line + len, sizeof(line) - static_cast<size_t>(len),
+                  "  total %.1fs", elapsed_s);
+  }
+
+  std::lock_guard guard(print_mutex());
+  std::fprintf(stderr, "%s\n", line);
+}
+
+}  // namespace patchdb::obs

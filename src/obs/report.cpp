@@ -73,12 +73,40 @@ SpanRecord span_from_json(const Json& json) {
   return s;
 }
 
+Json sample_to_json(const ResourceSample& s) {
+  Json out = Json::object();
+  out.set("t_us", Json(static_cast<double>(s.t_us)));
+  out.set("rss_bytes", Json(s.rss_bytes));
+  out.set("peak_rss_bytes", Json(s.peak_rss_bytes));
+  out.set("cpu_us", Json(static_cast<double>(s.cpu_us)));
+  out.set("pool_threads", Json(static_cast<std::uint64_t>(s.pool_threads)));
+  out.set("pool_pending", Json(static_cast<std::uint64_t>(s.pool_pending)));
+  out.set("pool_running", Json(static_cast<std::uint64_t>(s.pool_running)));
+  out.set("spans_dropped", Json(s.spans_dropped));
+  return out;
+}
+
+ResourceSample sample_from_json(const Json& json) {
+  ResourceSample s;
+  s.t_us = static_cast<std::int64_t>(json.at("t_us").as_number());
+  s.rss_bytes = static_cast<std::uint64_t>(json.at("rss_bytes").as_number());
+  s.peak_rss_bytes =
+      static_cast<std::uint64_t>(json.at("peak_rss_bytes").as_number());
+  s.cpu_us = static_cast<std::int64_t>(json.at("cpu_us").as_number());
+  s.pool_threads = static_cast<std::uint32_t>(json.at("pool_threads").as_number());
+  s.pool_pending = static_cast<std::uint32_t>(json.at("pool_pending").as_number());
+  s.pool_running = static_cast<std::uint32_t>(json.at("pool_running").as_number());
+  s.spans_dropped =
+      static_cast<std::uint64_t>(json.at("spans_dropped").as_number());
+  return s;
+}
+
 }  // namespace
 
 Json RunReport::to_json() const {
   Json out = Json::object();
   out.set("report", Json(name));
-  out.set("schema", Json("patchdb.obs.v1"));
+  out.set("schema", Json(schema));
   out.set("wall_ms", Json(wall_ms));
   out.set("spans_dropped", Json(spans_dropped));
 
@@ -99,12 +127,27 @@ Json RunReport::to_json() const {
   Json span_array = Json::array();
   for (const SpanRecord& s : spans) span_array.push_back(span_to_json(s));
   out.set("spans", std::move(span_array));
+
+  // Optional v2 block. Omitted when empty so v1 artifacts round-trip
+  // byte-identically and samplerless v2 runs stay as small as v1 ones.
+  if (!resource_timeline.empty()) {
+    Json timeline = Json::array();
+    for (const ResourceSample& s : resource_timeline) {
+      timeline.push_back(sample_to_json(s));
+    }
+    out.set("resource_timeline", std::move(timeline));
+  }
   return out;
 }
 
 RunReport RunReport::from_json(const Json& json) {
   RunReport report;
   report.name = json.at("report").as_string();
+  report.schema = json.at("schema").as_string();
+  if (report.schema != kReportSchemaV1 && report.schema != kReportSchemaV2) {
+    throw JsonError("obs: unsupported report schema \"" + report.schema +
+                    "\" (expected patchdb.obs.v1 or patchdb.obs.v2)");
+  }
   report.wall_ms = json.at("wall_ms").as_number();
   report.spans_dropped =
       static_cast<std::uint64_t>(json.at("spans_dropped").as_number());
@@ -120,6 +163,11 @@ RunReport RunReport::from_json(const Json& json) {
   }
   for (const Json& span : json.at("spans").as_array()) {
     report.spans.push_back(span_from_json(span));
+  }
+  if (json.contains("resource_timeline")) {
+    for (const Json& sample : json.at("resource_timeline").as_array()) {
+      report.resource_timeline.push_back(sample_from_json(sample));
+    }
   }
   return report;
 }
@@ -188,6 +236,28 @@ std::string RunReport::render() const {
       table.add_note(std::to_string(spans_dropped) +
                      " spans dropped to ring overflow");
     }
+    out += table.render();
+  }
+
+  if (!resource_timeline.empty()) {
+    const ResourceSample& last = resource_timeline.back();
+    std::uint64_t max_rss = 0;
+    std::uint32_t max_pending = 0;
+    for (const ResourceSample& s : resource_timeline) {
+      max_rss = std::max(max_rss, s.rss_bytes);
+      max_pending = std::max(max_pending, s.pool_pending);
+    }
+    const auto mb = [](std::uint64_t bytes) {
+      return util::format_double(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+    };
+    util::Table table("resource timeline — " + name);
+    table.set_header({"Signal", "Value"});
+    table.add_row({"samples", std::to_string(resource_timeline.size())});
+    table.add_row({"rss max (MB)", mb(max_rss)});
+    table.add_row({"rss peak / VmHWM (MB)", mb(last.peak_rss_bytes)});
+    table.add_row({"process cpu (ms)",
+                   util::format_double(static_cast<double>(last.cpu_us) / 1000.0, 1)});
+    table.add_row({"pool pending max", std::to_string(max_pending)});
     out += table.render();
   }
 

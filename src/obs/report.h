@@ -1,8 +1,14 @@
 // RunReport: one machine-readable snapshot of a pipeline run — the
-// aggregated metrics registry, the completed trace spans, and run
-// metadata — serializable to JSON (round-trip tested) and renderable as
-// human tables through util/table.h. Bench binaries write one per run
-// via --metrics-out; those artifacts are the repo's perf trajectory.
+// aggregated metrics registry, the completed trace spans, the optional
+// resource timeline, and run metadata — serializable to JSON
+// (round-trip tested) and renderable as human tables through
+// util/table.h. Bench binaries write one per run via --metrics-out;
+// those artifacts are the repo's perf trajectory.
+//
+// Schema: new reports are `patchdb.obs.v2` (v1 plus the optional
+// `resource_timeline` block). v1 artifacts still parse, keep their
+// schema string, and round-trip byte-identically — the perf-trajectory
+// files checked in before the sampler existed stay valid.
 #pragma once
 
 #include <string>
@@ -10,13 +16,20 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace patchdb::obs {
 
+inline constexpr std::string_view kReportSchemaV1 = "patchdb.obs.v1";
+inline constexpr std::string_view kReportSchemaV2 = "patchdb.obs.v2";
+
 struct RunReport {
   /// Run identity ("table2_augmentation", "patchdb metrics", ...).
   std::string name;
+  /// Schema tag this report serializes under. from_json preserves the
+  /// artifact's own tag so validation round-trips are exact.
+  std::string schema{kReportSchemaV2};
   /// Wall time covered by the report, in milliseconds.
   double wall_ms = 0.0;
   /// Spans dropped to ring overflow (0 in healthy runs).
@@ -24,6 +37,9 @@ struct RunReport {
 
   MetricsSnapshot metrics;
   std::vector<SpanRecord> spans;
+  /// Periodic RSS/CPU/pool samples (v2; empty when no sampler ran).
+  /// t_us shares the spans' timebase (the tracer epoch).
+  std::vector<ResourceSample> resource_timeline;
 
   Json to_json() const;
   static RunReport from_json(const Json& json);

@@ -43,6 +43,11 @@ std::size_t ThreadPool::in_flight() const {
   return in_flight_;
 }
 
+std::size_t ThreadPool::running() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_ > tasks_.size() ? in_flight_ - tasks_.size() : 0;
+}
+
 std::size_t ThreadPool::task_errors() const {
   std::lock_guard lock(mutex_);
   return task_errors_;

@@ -44,6 +44,10 @@ class ThreadPool {
   /// Tasks enqueued and not yet finished (pending + running).
   std::size_t in_flight() const;
 
+  /// Tasks currently executing on a worker (in_flight - pending, read
+  /// under one lock so the two can't tear).
+  std::size_t running() const;
+
   /// Install (or, with a default-constructed Observer, clear) the metric
   /// hooks. Thread-safe; tasks already running may still report to the
   /// previous observer.

@@ -1,0 +1,111 @@
+// bench_diff — perf-regression gate over two RunReport artifacts.
+//
+//   bench_diff BASELINE.json CANDIDATE.json
+//       [--max-increase METRIC:PCT]...
+//       [--max-decrease METRIC:PCT]...
+//       [--require METRIC[=VALUE]]...
+//
+// Compares the candidate (the run just produced) against the committed
+// baseline under per-metric threshold rules (see src/obs/diff.h for the
+// metric-name resolution, including "hist@p95" histogram statistics).
+// Prints one line per rule and exits 0 when every rule passes, 1 on any
+// regression, 2 on usage errors — so CI can wire it directly into the
+// bench-smoke job.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/diff.h"
+#include "obs/report.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff BASELINE.json CANDIDATE.json [rules]\n"
+               "  --max-increase METRIC:PCT   candidate may rise at most PCT%%\n"
+               "  --max-decrease METRIC:PCT   candidate may fall at most PCT%%\n"
+               "  --require METRIC[=VALUE]    metric must exist (and match VALUE)\n"
+               "metrics: wall_ms, counters, gauges, HISTOGRAM@{p50,p95,mean,max,count}\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using patchdb::obs::DiffRule;
+
+  std::vector<std::string> paths;
+  std::vector<DiffRule> rules;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool max_increase = arg == "--max-increase";
+    const bool max_decrease = arg == "--max-decrease";
+    const bool require = arg == "--require";
+    if (max_increase || max_decrease || require) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_diff: %s needs a value\n", argv[i]);
+        return usage();
+      }
+      DiffRule rule;
+      std::string error;
+      const bool ok =
+          require ? patchdb::obs::parse_require_spec(argv[i + 1], rule, error)
+                  : patchdb::obs::parse_threshold_spec(
+                        argv[i + 1],
+                        max_increase ? DiffRule::Kind::kMaxIncrease
+                                     : DiffRule::Kind::kMaxDecrease,
+                        rule, error);
+      if (!ok) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", argv[i], error.c_str());
+        return usage();
+      }
+      rules.push_back(std::move(rule));
+      ++i;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.size() != 2) return usage();
+  if (rules.empty()) {
+    std::fprintf(stderr, "bench_diff: no rules given, nothing to gate on\n");
+    return usage();
+  }
+
+  patchdb::obs::RunReport baseline;
+  patchdb::obs::RunReport candidate;
+  try {
+    baseline = patchdb::obs::read_report_file(paths[0]);
+    candidate = patchdb::obs::read_report_file(paths[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("bench_diff: %s (baseline \"%s\") vs %s (candidate \"%s\")\n",
+              paths[0].c_str(), baseline.name.c_str(), paths[1].c_str(),
+              candidate.name.c_str());
+  const std::vector<patchdb::obs::DiffResult> results =
+      patchdb::obs::diff_reports(baseline, candidate, rules);
+  bool any_fail = false;
+  for (const patchdb::obs::DiffResult& r : results) {
+    std::printf("  %s\n", r.message.c_str());
+    any_fail = any_fail || !r.ok;
+  }
+  if (any_fail) {
+    std::fprintf(stderr, "bench_diff: REGRESSION (%zu rule(s) failed)\n",
+                 static_cast<std::size_t>(
+                     std::count_if(results.begin(), results.end(),
+                                   [](const auto& r) { return !r.ok; })));
+    return 1;
+  }
+  std::printf("bench_diff: OK (%zu rule(s) passed)\n", results.size());
+  return 0;
+}

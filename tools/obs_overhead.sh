@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Obs-overhead check: how much wall time does the observability layer
+# cost an instrumented kernel? Runs the same micro_core benchmark twice —
+# once with the ObsSession installed (spans, counters, pool observer)
+# and once inert under PATCHDB_OBS_DISABLED — and compares the
+# benchmark's own per-iteration median real time (process wall would
+# lie: google-benchmark adapts iteration counts to the kernel speed, so
+# a faster kernel runs MORE iterations). Records the ratio as a
+# patchdb.obs.v2 report.
+#
+#   tools/obs_overhead.sh [BUILD_DIR] [OUT_JSON] [MAX_PCT]
+#
+# BUILD_DIR defaults to ./build, OUT_JSON to bench/BENCH_obs_overhead.json,
+# MAX_PCT to 2.0 (the acceptance bound: obs must cost < 2% wall). Exits 1
+# when the measured overhead exceeds MAX_PCT. OBS_OVERHEAD_REPS and
+# OBS_OVERHEAD_FILTER override the rep count and benchmark subset.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/bench/BENCH_obs_overhead.json}"
+max_pct="${3:-2.0}"
+reps="${OBS_OVERHEAD_REPS:-5}"
+# The streaming nearest-link kernel is the most densely instrumented
+# code path (spans + counters + pool tasks per tile).
+filter="${OBS_OVERHEAD_FILTER:-BM_NearestLinkStreaming/100/2000}"
+
+bench="${build_dir}/bench/micro_core"
+if [[ ! -x "${bench}" ]]; then
+  echo "obs_overhead.sh: ${bench} missing; build the repo first" >&2
+  exit 2
+fi
+
+bench_args=(
+  "--benchmark_filter=${filter}"
+  "--benchmark_repetitions=${reps}"
+  "--benchmark_report_aggregates_only=true"
+  "--benchmark_format=csv"
+)
+
+run_median_ms() {  # $1 = "on" | "off"
+  local csv
+  if [[ "$1" == off ]]; then
+    csv=$(PATCHDB_OBS_DISABLED=1 "${bench}" "${bench_args[@]}" 2> /dev/null)
+  else
+    csv=$("${bench}" "${bench_args[@]}" 2> /dev/null)
+  fi
+  # CSV row: name,iterations,real_time,cpu_time,time_unit,... — the
+  # median aggregate's real_time, in the benchmark's own time unit
+  # (identical across both modes, so the ratio below is unitless).
+  echo "${csv}" | awk -F, '/_median"?,/ { printf "%.4f", $3; exit }'
+}
+
+enabled_ms=$(run_median_ms on)
+disabled_ms=$(run_median_ms off)
+if [[ -z "${enabled_ms}" || -z "${disabled_ms}" ]]; then
+  echo "obs_overhead.sh: no median row for filter ${filter}" >&2
+  exit 2
+fi
+overhead_pct=$(awk -v e="${enabled_ms}" -v d="${disabled_ms}" \
+  'BEGIN { printf "%.3f", (d > 0 ? (e - d) * 100.0 / d : 0) }')
+
+echo "obs_overhead.sh: enabled ${enabled_ms} ms/iter, disabled ${disabled_ms} ms/iter," \
+  "overhead ${overhead_pct}% (median of ${reps} reps, filter ${filter})"
+
+total_ms=$(awk -v e="${enabled_ms}" -v d="${disabled_ms}" \
+  'BEGIN { printf "%.1f", e + d }')
+cat > "${out_json}" <<EOF
+{
+  "counters": {
+    "obs_overhead.reps": ${reps}
+  },
+  "gauges": {
+    "obs_overhead.disabled_ms": ${disabled_ms},
+    "obs_overhead.enabled_ms": ${enabled_ms},
+    "obs_overhead.overhead_pct": ${overhead_pct}
+  },
+  "histograms": {},
+  "report": "obs_overhead ${filter}",
+  "schema": "patchdb.obs.v2",
+  "spans": [],
+  "spans_dropped": 0,
+  "wall_ms": ${total_ms}
+}
+EOF
+echo "obs_overhead.sh: recorded to ${out_json}"
+
+if awk -v p="${overhead_pct}" -v cap="${max_pct}" 'BEGIN { exit !(p > cap) }'; then
+  echo "obs_overhead.sh: FAIL — overhead ${overhead_pct}% exceeds ${max_pct}%" >&2
+  exit 1
+fi
+echo "obs_overhead.sh: OK (overhead ${overhead_pct}% <= ${max_pct}%)"

@@ -1,12 +1,14 @@
 // patchdb — command-line front end for the PatchDB library.
 //
 //   patchdb build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]
-//           [--checkpoint-dir D] [--resume]
+//           [--checkpoint-dir D] [--resume] [--trace-out FILE] [--progress]
 //       Build a simulated PatchDB (NVD crawl -> nearest-link augmentation
 //       -> synthesis) and export it to DIR in the release layout. With
 //       --checkpoint-dir the augmentation state is persisted after every
 //       round; --resume continues an interrupted build from the last
-//       checkpoint and produces a bit-identical export.
+//       checkpoint and produces a bit-identical export. --trace-out
+//       writes a Chrome trace of the run (load in Perfetto); --progress
+//       prints heartbeat lines from the long loops.
 //   patchdb stats DIR
 //       Summarize an exported dataset: component sizes, Table V type
 //       distribution, categorizer agreement.
@@ -33,18 +35,23 @@
 //       Patch presence test (Sec. V-A.1): is the fix already applied in
 //       the target file? Prints patched/vulnerable/partial/unknown.
 //   patchdb metrics [--nvd N] [--wild N] [--rounds R] [--seed S]
-//           [--metrics-out FILE]
+//           [--metrics-out FILE] [--trace-out FILE] [--sample-ms N]
+//           [--progress]
 //       Run the build pipeline under an observability session and print
 //       the metrics/span report; --metrics-out also writes the JSON
-//       artifact (schema patchdb.obs.v1).
+//       artifact (schema patchdb.obs.v2, with a resource timeline when
+//       the sampler ran); --trace-out writes a Chrome trace.
 //   patchdb metrics --validate FILE.json
-//       Parse a --metrics-out artifact, check the schema and JSON
-//       round-trip, and print a summary. Exit 1 when malformed.
+//       Parse a --metrics-out artifact, check the schema (v1 and v2
+//       both accepted) and JSON round-trip, and print a summary. Exit 1
+//       when malformed.
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,7 +63,9 @@
 #include "diff/parse.h"
 #include "feature/features.h"
 #include "nn/encode.h"
+#include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/progress.h"
 #include "store/checkpoint.h"
 #include "store/export.h"
 #include "store/fsck.h"
@@ -74,17 +83,20 @@ int usage() {
                "  build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
                "        [--streaming] [--link-topk K] [--link-tile N] [--link-mem-mb MB]\n"
                "        [--checkpoint-dir D] [--resume]\n"
+               "        [--trace-out FILE] [--sample-ms N] [--progress] [--progress-ms N]\n"
                "  stats DIR\n"
                "  fsck DIR\n"
                "  features FILE.patch [--all] [--semantic] [--interproc]\n"
-               "  analyze FILE.patch [--unchanged] [--interproc]\n"
+               "  analyze FILE.patch [--unchanged] [--interproc] [--trace-out FILE]\n"
                "  categorize FILE.patch\n"
                "  tokens FILE.patch\n"
                "  variants \"CONDITION\"\n"
                "  presence FILE.patch TARGET_SOURCE_FILE\n"
                "  metrics [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
                "          [--streaming] [--link-topk K] [--link-tile N]"
-               " [--link-mem-mb MB] [--metrics-out FILE]\n"
+               " [--link-mem-mb MB]\n"
+               "          [--metrics-out FILE] [--trace-out FILE] [--sample-ms N]\n"
+               "          [--progress] [--progress-ms N]\n"
                "  metrics --validate FILE.json\n");
   return 2;
 }
@@ -140,6 +152,56 @@ class Flags {
   std::vector<std::string> args_;
 };
 
+/// Shared observability plumbing for the pipeline commands: applies
+/// --progress/--progress-ms, installs an ObsSession, and — when
+/// --trace-out or --metrics-out asks for an artifact — runs a
+/// ResourceSampler at --sample-ms (default 50) for the command's
+/// lifetime. report() stops the sampler and snapshots;
+/// write_artifacts() honors --metrics-out and --trace-out.
+class CliObs {
+ public:
+  CliObs(const char* name, const Flags& flags)
+      : trace_out_(flags.value("--trace-out", std::string())),
+        metrics_out_(flags.value("--metrics-out", std::string())),
+        obs_(name) {
+    if (flags.has("--progress")) obs::set_progress_interval_ms(1000);
+    const std::size_t progress_ms = flags.value("--progress-ms", std::size_t{0});
+    if (progress_ms > 0) obs::set_progress_interval_ms(progress_ms);
+    const bool want_artifacts = !trace_out_.empty() || !metrics_out_.empty();
+    if (obs_.installed() && want_artifacts) {
+      obs::ResourceSampler::Options opt;
+      opt.interval = std::chrono::milliseconds(
+          static_cast<long>(flags.value("--sample-ms", std::size_t{50})));
+      sampler_ = std::make_unique<obs::ResourceSampler>(opt);
+      obs_.attach_sampler(sampler_.get());
+      sampler_->start();
+    }
+  }
+
+  obs::RunReport report() {
+    if (sampler_) sampler_->stop();  // idempotent
+    return obs_.report();
+  }
+
+  void write_artifacts(const obs::RunReport& report) {
+    if (!metrics_out_.empty()) {
+      obs::write_report_file(report, metrics_out_);
+      std::printf("metrics written to %s\n", metrics_out_.c_str());
+    }
+    if (!trace_out_.empty()) {
+      obs::write_trace_file(report, trace_out_);
+      std::printf("trace written to %s (load in Perfetto / chrome://tracing)\n",
+                  trace_out_.c_str());
+    }
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  obs::ObsSession obs_;
+  std::unique_ptr<obs::ResourceSampler> sampler_;
+};
+
 /// `--streaming [--link-topk K] [--link-tile N] [--link-mem-mb MB]`:
 /// route the augmentation rounds through the streaming tiled
 /// nearest-link engine (bit-identical results, bounded memory).
@@ -177,8 +239,10 @@ int cmd_build(const Flags& flags) {
               static_cast<std::size_t>(options.world.seed),
               options.use_streaming_link ? " (streaming nearest link)" : "",
               options.checkpoint_dir.empty() ? "" : " (checkpointed)");
+  CliObs cli_obs("patchdb build", flags);
   const core::PatchDb db = store::build_with_checkpoints(options);
   const store::ExportStats stats = store::export_patchdb(db, out);
+  cli_obs.write_artifacts(cli_obs.report());
 
   std::printf("exported %zu patches (%zu feature rows) to %s\n",
               stats.patches_written, stats.feature_rows,
@@ -287,17 +351,20 @@ int cmd_features(const std::string& path, bool all, bool semantic,
   return 0;
 }
 
-int cmd_analyze(const std::string& path, bool show_unchanged, bool interproc) {
+int cmd_analyze(const Flags& flags) {
+  const std::string path = flags.positional();
   const diff::Patch patch = diff::parse_patch(read_file_or_die(path));
+  CliObs cli_obs("patchdb analyze", flags);
   analysis::AnalyzeOptions analyze_options;
-  analyze_options.interproc = interproc;
+  analyze_options.interproc = flags.has("--interproc");
   const analysis::PatchAnalysis pa =
       analysis::analyze_patch(patch, analyze_options);
   std::printf("commit %s: %zu files, %zu hunks\n", patch.commit.c_str(),
               patch.files.size(), patch.hunk_count());
   analysis::ReportOptions options;
-  options.show_unchanged = show_unchanged;
+  options.show_unchanged = flags.has("--unchanged");
   std::printf("%s", analysis::render_report(pa, options).c_str());
+  cli_obs.write_artifacts(cli_obs.report());
   return 0;
 }
 
@@ -365,14 +432,18 @@ int cmd_metrics_validate(const std::string& path) {
                  path.c_str());
     return 1;
   }
-  std::printf("%s: valid patchdb.obs.v1 report \"%s\"\n", path.c_str(),
-              report.name.c_str());
+  std::printf("%s: valid %s report \"%s\"\n", path.c_str(),
+              report.schema.c_str(), report.name.c_str());
   std::printf("  wall: %.1f ms, %zu counters, %zu gauges, %zu histograms, "
-              "%zu spans (%llu dropped)\n",
+              "%zu spans (%llu dropped)",
               report.wall_ms, report.metrics.counters.size(),
               report.metrics.gauges.size(), report.metrics.histograms.size(),
               report.spans.size(),
               static_cast<unsigned long long>(report.spans_dropped));
+  if (!report.resource_timeline.empty()) {
+    std::printf(", %zu resource samples", report.resource_timeline.size());
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -389,9 +460,9 @@ int cmd_metrics(const Flags& flags) {
   options.synthesis.max_per_patch = flags.value("--synth", std::size_t{2});
   apply_link_flags(flags, options);
 
-  obs::ObsSession session("patchdb metrics");
+  CliObs cli_obs("patchdb metrics", flags);
   const core::PatchDb db = core::build_patchdb(options);
-  const obs::RunReport report = session.report();
+  const obs::RunReport report = cli_obs.report();
 
   std::printf("pipeline: %zu NVD + %zu wild security, %zu nonsecurity, "
               "%zu synthetic\n\n",
@@ -399,11 +470,7 @@ int cmd_metrics(const Flags& flags) {
               db.nonsecurity.size(), db.synthetic.size());
   std::printf("%s", report.render().c_str());
 
-  const std::string out = flags.value("--metrics-out", std::string());
-  if (!out.empty()) {
-    obs::write_report_file(report, out);
-    std::printf("metrics written to %s\n", out.c_str());
-  }
+  cli_obs.write_artifacts(report);
   return 0;
 }
 
@@ -432,10 +499,7 @@ int main(int argc, char** argv) {
       return cmd_features(flags.positional(), flags.has("--all"),
                           flags.has("--semantic"), flags.has("--interproc"));
     }
-    if (command == "analyze") {
-      return cmd_analyze(flags.positional(), flags.has("--unchanged"),
-                         flags.has("--interproc"));
-    }
+    if (command == "analyze") return cmd_analyze(flags);
     if (command == "categorize") return cmd_categorize(flags.positional());
     if (command == "tokens") return cmd_tokens(flags.positional());
     if (command == "variants") return cmd_variants(flags.positional());
