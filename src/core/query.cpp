@@ -1,0 +1,51 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace patchdb::core {
+
+std::vector<KnnHit> knn_query(std::span<const float> scaled, std::size_t dims,
+                              std::span<const float> query, std::size_t k) {
+  std::vector<KnnHit> hits;
+  if (dims == 0 || query.size() != dims || k == 0) return hits;
+  const std::size_t rows = scaled.size() / dims;
+  if (rows == 0) return hits;
+
+  // Bounded worst-first heap: O(rows log k), no full-corpus sort. The
+  // comparator orders by (distance, index) so the heap top is the hit
+  // a better candidate must beat — including on exact float ties,
+  // where the lower index wins.
+  const auto worse = [](const KnnHit& a, const KnnHit& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  };
+  hits.reserve(std::min(k, rows));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float d = l2_cell(query.data(), scaled.data() + r * dims, dims);
+    if (hits.size() < k) {
+      hits.push_back({r, d});
+      std::push_heap(hits.begin(), hits.end(), worse);
+    } else if (worse({r, d}, hits.front())) {
+      std::pop_heap(hits.begin(), hits.end(), worse);
+      hits.back() = {r, d};
+      std::push_heap(hits.begin(), hits.end(), worse);
+    }
+  }
+  std::sort_heap(hits.begin(), hits.end(), worse);
+  PATCHDB_COUNTER_ADD("query.knn", 1);
+  PATCHDB_COUNTER_ADD("query.knn.cells", rows);
+  return hits;
+}
+
+std::vector<float> scale_query(std::span<const double> vector,
+                               std::span<const double> weights) {
+  std::vector<float> out(weights.size());
+  for (std::size_t j = 0; j < weights.size() && j < vector.size(); ++j) {
+    out[j] = static_cast<float>(vector[j] * weights[j]);
+  }
+  return out;
+}
+
+}  // namespace patchdb::core

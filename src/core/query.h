@@ -1,0 +1,42 @@
+// Point queries over a pre-scaled feature corpus — the online entry
+// point the serve subsystem exposes over the wire. A KnnQuery owns
+// nothing: it views a packed row-major float buffer produced by
+// core::scale_features and answers "k nearest rows to this scaled
+// vector" with the exact same core::l2_cell kernel the dense matrix and
+// the streaming link engine run, so served distances are bit-identical
+// to the offline paths (same float accumulation order, same rounding).
+// Ties break toward the lowest row index, matching nearest_link_search
+// and the streaming engine's selection order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/distance.h"
+
+namespace patchdb::core {
+
+struct KnnHit {
+  std::size_t index = 0;  // row in the scaled corpus
+  float distance = 0.0f;  // l2_cell output, bit-identical to the kernels
+
+  friend bool operator==(const KnnHit&, const KnnHit&) = default;
+};
+
+/// The `k` corpus rows nearest to `query` (a scaled row of the same
+/// width), ascending by (distance, index). `scaled` is the packed
+/// rows x dims buffer from core::scale_features. Returns fewer than `k`
+/// hits when the corpus is smaller than `k`; an empty corpus or an
+/// empty query yields no hits.
+std::vector<KnnHit> knn_query(std::span<const float> scaled, std::size_t dims,
+                              std::span<const float> query, std::size_t k);
+
+/// Scale one raw feature vector by per-dimension weights through the
+/// same double-multiply-then-cast sequence as core::scale_features, so
+/// a query vector submitted over the wire lands on the exact floats a
+/// corpus row with equal features would occupy.
+std::vector<float> scale_query(std::span<const double> vector,
+                               std::span<const double> weights);
+
+}  // namespace patchdb::core

@@ -1,0 +1,189 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace patchdb::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("serve client: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void recv_all(int fd, unsigned char* out, std::size_t want,
+              std::chrono::milliseconds timeout) {
+  std::size_t got = 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (got < want) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      throw std::runtime_error("serve client: response timed out");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll");
+    }
+    if (ready == 0) continue;  // loop re-checks the deadline
+    const ssize_t n = ::recv(fd, out + got, want - got, 0);
+    if (n == 0) {
+      throw std::runtime_error("serve client: connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), timeout_(other.timeout_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    timeout_ = other.timeout_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     std::chrono::milliseconds timeout) {
+  close();
+  timeout_ = timeout;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("serve client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    close();
+    throw std::runtime_error("serve client: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + reason);
+  }
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response Client::call(const Request& request) {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  send_all(fd_, frame(encode_request(request)));
+
+  unsigned char header[kFrameHeaderBytes];
+  recv_all(fd_, header, sizeof(header), timeout_);
+  const std::size_t body_len = parse_frame_header(header);
+  std::string body(body_len, '\0');
+  recv_all(fd_, reinterpret_cast<unsigned char*>(body.data()), body.size(),
+           timeout_);
+  return decode_response(request.op, body);
+}
+
+Response Client::ping() {
+  Request request;
+  request.op = Op::kPing;
+  return call(request);
+}
+
+Response Client::lookup(const std::string& id) {
+  Request request;
+  request.op = Op::kLookup;
+  request.lookup.id = id;
+  return call(request);
+}
+
+Response Client::features(const std::string& id, WireFeatureSpace space) {
+  Request request;
+  request.op = Op::kFeatures;
+  request.features.id = id;
+  request.features.space = space;
+  return call(request);
+}
+
+Response Client::nearest_by_id(const std::string& id, std::uint32_t k) {
+  Request request;
+  request.op = Op::kNearest;
+  request.nearest.by_id = true;
+  request.nearest.id = id;
+  request.nearest.k = k;
+  return call(request);
+}
+
+Response Client::nearest_by_vector(const std::vector<double>& vector,
+                                   std::uint32_t k) {
+  Request request;
+  request.op = Op::kNearest;
+  request.nearest.by_id = false;
+  request.nearest.vector = vector;
+  request.nearest.k = k;
+  return call(request);
+}
+
+Response Client::stats() {
+  Request request;
+  request.op = Op::kStats;
+  return call(request);
+}
+
+Response Client::analyze(const std::string& diff_text, bool interproc) {
+  Request request;
+  request.op = Op::kAnalyze;
+  request.analyze.diff_text = diff_text;
+  request.analyze.interproc = interproc;
+  return call(request);
+}
+
+Response Client::list_ids(WireComponent component, std::uint32_t limit) {
+  Request request;
+  request.op = Op::kListIds;
+  request.list_ids.component = component;
+  request.list_ids.limit = limit;
+  return call(request);
+}
+
+}  // namespace patchdb::serve

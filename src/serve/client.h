@@ -1,0 +1,59 @@
+// Blocking typed client for the patchdbd protocol: one TCP connection,
+// one outstanding request. Each call frames a request, writes it,
+// reads exactly one response frame, and decodes it with the decoder
+// matching the request's op. Throws std::runtime_error on transport
+// failures (connect/read/write) and ProtocolError on a malformed
+// response; an application-level error (kNotFound, kBadRequest, ...)
+// is NOT an exception — it comes back in Response::status so callers
+// can distinguish "the id does not exist" from "the daemon is gone".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace patchdb::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to a daemon. Throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout =
+                   std::chrono::milliseconds(5000));
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Send any request and return the decoded response. Throws on
+  /// transport or protocol errors; server-reported failures come back
+  /// in Response::status.
+  Response call(const Request& request);
+
+  // Typed conveniences over call().
+  Response ping();
+  Response lookup(const std::string& id);
+  Response features(const std::string& id,
+                    WireFeatureSpace space = WireFeatureSpace::kSyntactic);
+  Response nearest_by_id(const std::string& id, std::uint32_t k);
+  Response nearest_by_vector(const std::vector<double>& vector,
+                             std::uint32_t k);
+  Response stats();
+  Response analyze(const std::string& diff_text, bool interproc = false);
+  Response list_ids(WireComponent component = WireComponent::kAll,
+                    std::uint32_t limit = 0);
+
+ private:
+  int fd_ = -1;
+  std::chrono::milliseconds timeout_{5000};
+};
+
+}  // namespace patchdb::serve

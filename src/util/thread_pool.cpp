@@ -14,7 +14,12 @@ namespace {
 thread_local bool t_on_pool_worker = false;
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : ThreadPool(Options{.threads = threads}) {}
+
+ThreadPool::ThreadPool(const Options& options)
+    : max_pending_(options.max_pending), overflow_(options.overflow) {
+  std::size_t threads = options.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -30,6 +35,7 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   task_ready_.notify_all();
+  space_free_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -67,10 +73,30 @@ void ThreadPool::set_observer(Observer observer) {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const bool blocking = overflow_ == Overflow::kBlock;
+  if (!enqueue(std::move(task), blocking)) throw QueueFull();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  return enqueue(std::move(task), /*blocking=*/false);
+}
+
+bool ThreadPool::enqueue(std::function<void()>&& task, bool blocking) {
   std::shared_ptr<const Observer> observer;
   std::size_t depth = 0;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    // Workers bypass the cap: they are the consumers that free slots,
+    // so blocking one on queue space could deadlock the whole pool.
+    if (max_pending_ != 0 && !t_on_pool_worker) {
+      if (blocking) {
+        space_free_.wait(lock, [this] {
+          return stopping_ || tasks_.size() < max_pending_;
+        });
+      } else if (tasks_.size() >= max_pending_ && !stopping_) {
+        return false;
+      }
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
     observer = observer_;
@@ -78,6 +104,7 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   task_ready_.notify_one();
   if (observer && observer->queue_depth) observer->queue_depth(depth);
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -131,6 +158,7 @@ void ThreadPool::worker_loop() {
       observer = observer_;
       depth = tasks_.size();
     }
+    if (max_pending_ != 0) space_free_.notify_one();
     if (observer && observer->queue_depth) observer->queue_depth(depth);
     const bool timed = observer && observer->task_ms;
     const auto start = timed ? std::chrono::steady_clock::now()

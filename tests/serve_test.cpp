@@ -1,0 +1,613 @@
+// Tests for the serving subsystem (src/serve): wire-protocol round
+// trips and malformed-frame rejection, bit-identity of served query
+// results against the offline kernels, the concurrent TCP server
+// (64 connections across every request type), graceful drain, and the
+// read-only store properties the daemon depends on (concurrent loads
+// of one sealed export; refusal of corrupted datasets at startup).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/categorize.h"
+#include "core/distance.h"
+#include "core/patchdb.h"
+#include "core/query.h"
+#include "diff/render.h"
+#include "feature/features.h"
+#include "serve/client.h"
+#include "serve/dataset.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "store/export.h"
+
+namespace patchdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ protocol --
+
+TEST(ServeProtocol, EveryRequestRoundTrips) {
+  serve::Request ping;
+  ping.op = serve::Op::kPing;
+
+  serve::Request lookup;
+  lookup.op = serve::Op::kLookup;
+  lookup.lookup.id = "deadbeef";
+
+  serve::Request features;
+  features.op = serve::Op::kFeatures;
+  features.features.id = "cafe";
+  features.features.space = serve::WireFeatureSpace::kInterproc;
+
+  serve::Request nearest_id;
+  nearest_id.op = serve::Op::kNearest;
+  nearest_id.nearest.by_id = true;
+  nearest_id.nearest.id = "0123";
+  nearest_id.nearest.k = 7;
+
+  serve::Request nearest_vec;
+  nearest_vec.op = serve::Op::kNearest;
+  nearest_vec.nearest.by_id = false;
+  nearest_vec.nearest.vector = {1.5, -2.25, 0.0, 1e300};
+  nearest_vec.nearest.k = 1;
+
+  serve::Request stats;
+  stats.op = serve::Op::kStats;
+
+  serve::Request analyze;
+  analyze.op = serve::Op::kAnalyze;
+  analyze.analyze.diff_text = "--- a\n+++ b\n\0binary\x7f ok";
+  analyze.analyze.interproc = true;
+
+  serve::Request list;
+  list.op = serve::Op::kListIds;
+  list.list_ids.component = serve::WireComponent::kSynthetic;
+  list.list_ids.limit = 9;
+
+  for (const serve::Request& request :
+       {ping, lookup, features, nearest_id, nearest_vec, stats, analyze,
+        list}) {
+    const serve::Request decoded =
+        serve::decode_request(serve::encode_request(request));
+    EXPECT_EQ(decoded.op, request.op);
+    EXPECT_EQ(decoded.lookup, request.lookup);
+    EXPECT_EQ(decoded.features, request.features);
+    EXPECT_EQ(decoded.nearest, request.nearest);
+    EXPECT_EQ(decoded.analyze, request.analyze);
+    EXPECT_EQ(decoded.list_ids, request.list_ids);
+  }
+}
+
+TEST(ServeProtocol, EveryResponseRoundTrips) {
+  {
+    serve::Response r;
+    r.ping.patches = 12345;
+    const serve::Response d = serve::decode_response(
+        serve::Op::kPing, serve::encode_response(serve::Op::kPing, r));
+    EXPECT_EQ(d.status, serve::Status::kOk);
+    EXPECT_EQ(d.ping, r.ping);
+  }
+  {
+    serve::Response r;
+    r.lookup.component = serve::WireComponent::kWild;
+    r.lookup.is_security = true;
+    r.lookup.type = -3;
+    r.lookup.repo = "openssl";
+    r.lookup.patch_text = std::string("raw\0bytes", 9);
+    const serve::Response d = serve::decode_response(
+        serve::Op::kLookup, serve::encode_response(serve::Op::kLookup, r));
+    EXPECT_EQ(d.lookup, r.lookup);
+  }
+  {
+    serve::Response r;
+    r.features.vector = {0.0, -1.0, 3.14159, 1e-300};
+    const serve::Response d = serve::decode_response(
+        serve::Op::kFeatures, serve::encode_response(serve::Op::kFeatures, r));
+    EXPECT_EQ(d.features, r.features);
+  }
+  {
+    serve::Response r;
+    r.nearest.hits = {{"aa", 0.0f}, {"bb", 1.25f}};
+    const serve::Response d = serve::decode_response(
+        serve::Op::kNearest, serve::encode_response(serve::Op::kNearest, r));
+    EXPECT_EQ(d.nearest, r.nearest);
+  }
+  {
+    serve::Response r;
+    r.stats.nvd = 1;
+    r.stats.wild = 2;
+    r.stats.synthetic = 4;
+    r.stats.categories = {{3, 10, 9}, {7, 0, 1}};
+    const serve::Response d = serve::decode_response(
+        serve::Op::kStats, serve::encode_response(serve::Op::kStats, r));
+    EXPECT_EQ(d.stats, r.stats);
+  }
+  {
+    serve::Response r;
+    r.analyze.category = 5;
+    r.analyze.resolved = 2;
+    r.analyze.introduced = 1;
+    r.analyze.report = "report text";
+    const serve::Response d = serve::decode_response(
+        serve::Op::kAnalyze, serve::encode_response(serve::Op::kAnalyze, r));
+    EXPECT_EQ(d.analyze, r.analyze);
+  }
+  {
+    serve::Response r;
+    r.status = serve::Status::kNotFound;
+    r.error = "no such id";
+    const serve::Response d = serve::decode_response(
+        serve::Op::kListIds, serve::encode_response(serve::Op::kListIds, r));
+    EXPECT_EQ(d.status, serve::Status::kNotFound);
+    EXPECT_EQ(d.error, "no such id");
+  }
+}
+
+TEST(ServeProtocol, MalformedFramesAreRejected) {
+  // Zero-length and oversized frame headers.
+  const unsigned char zero[4] = {0, 0, 0, 0};
+  EXPECT_THROW(serve::parse_frame_header(zero), serve::ProtocolError);
+  const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW(serve::parse_frame_header(huge), serve::ProtocolError);
+
+  // Empty body, unknown opcode, truncated payload, trailing bytes.
+  EXPECT_THROW(serve::decode_request(""), serve::ProtocolError);
+  EXPECT_THROW(serve::decode_request(std::string(1, '\x63')),
+               serve::ProtocolError);
+  serve::Request lookup;
+  lookup.op = serve::Op::kLookup;
+  lookup.lookup.id = "abcdef";
+  const std::string good = serve::encode_request(lookup);
+  EXPECT_NO_THROW(serve::decode_request(good));
+  EXPECT_THROW(serve::decode_request(good.substr(0, good.size() - 2)),
+               serve::ProtocolError);
+  EXPECT_THROW(serve::decode_request(good + "x"), serve::ProtocolError);
+
+  // A hostile element count: claims 2^31 doubles in a 16-byte payload.
+  serve::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(serve::Op::kNearest));
+  w.u8(0);           // by_vector
+  w.str("");         // id
+  w.u32(0x80000000); // element count
+  w.u64(0);          // 8 bytes of "elements"
+  w.u32(5);          // k
+  EXPECT_THROW(serve::decode_request(w.take()), serve::ProtocolError);
+}
+
+// ----------------------------------------------------- shared dataset --
+
+/// One small PatchDb shared by the dataset/server tests (building the
+/// world dominates test time, so do it once).
+const core::PatchDb& shared_db() {
+  static const core::PatchDb db = [] {
+    core::BuildOptions options;
+    options.world.repos = 4;
+    options.world.nvd_security = 25;
+    options.world.wild_pool = 400;
+    options.world.seed = 907;
+    options.augment.max_rounds = 1;
+    options.synthesis.max_per_patch = 2;
+    return core::build_patchdb(options);
+  }();
+  return db;
+}
+
+serve::ServedDataset make_dataset() {
+  const core::PatchDb& db = shared_db();
+  return serve::ServedDataset::from_components(
+      db.nvd_security, db.wild_security, db.nonsecurity, db.synthetic);
+}
+
+/// The natural patches in served order (the nearest-query corpus).
+std::vector<diff::Patch> natural_patches() {
+  const core::PatchDb& db = shared_db();
+  std::vector<diff::Patch> out;
+  for (const corpus::CommitRecord& r : db.nvd_security) out.push_back(r.patch);
+  for (const corpus::CommitRecord& r : db.wild_security) out.push_back(r.patch);
+  for (const corpus::CommitRecord& r : db.nonsecurity) out.push_back(r.patch);
+  return out;
+}
+
+// -------------------------------------------------------- bit identity --
+
+TEST(ServeDataset, NearestIsBitIdenticalToOfflineKernels) {
+  const serve::ServedDataset dataset = make_dataset();
+  const std::vector<diff::Patch> natural = natural_patches();
+
+  // The offline path: Table I features, max-abs weights over the corpus
+  // union with itself, scaled rows, and l2_cell per pair.
+  const feature::FeatureMatrix m = feature::extract_all(natural);
+  const std::vector<double> weights = core::maxabs_weights(m, m);
+  const std::vector<float> scaled = core::scale_features(m, weights);
+  const std::size_t dims = m.cols();
+  ASSERT_EQ(dataset.weights(), weights);
+
+  for (const std::size_t row : {std::size_t{0}, natural.size() / 2}) {
+    serve::NearestRequest request;
+    request.by_id = true;
+    request.id = natural[row].commit;
+    request.k = 5;
+    const serve::Response response = dataset.nearest(request);
+    ASSERT_EQ(response.status, serve::Status::kOk);
+    ASSERT_EQ(response.nearest.hits.size(), std::size_t{5});
+
+    // Brute-force reference: every distance through the same kernel,
+    // ties broken toward the lower corpus index.
+    std::vector<std::pair<float, std::size_t>> all;
+    for (std::size_t r = 0; r < natural.size(); ++r) {
+      all.emplace_back(core::l2_cell(scaled.data() + row * dims,
+                                     scaled.data() + r * dims, dims),
+                       r);
+    }
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < response.nearest.hits.size(); ++i) {
+      EXPECT_EQ(response.nearest.hits[i].id, natural[all[i].second].commit);
+      // Bit-exact float equality, not near-equality: the served path
+      // must run the same kernel over the same scaled rows.
+      EXPECT_EQ(response.nearest.hits[i].distance, all[i].first);
+    }
+  }
+}
+
+TEST(ServeDataset, FeatureVectorsMatchOfflineExtractor) {
+  const serve::ServedDataset dataset = make_dataset();
+  const core::PatchDb& db = shared_db();
+
+  const corpus::CommitRecord& record = db.wild_security.front();
+  serve::FeaturesRequest request;
+  request.id = record.patch.commit;
+  serve::Response response = dataset.features(request);
+  ASSERT_EQ(response.status, serve::Status::kOk);
+  const feature::FeatureVector offline = feature::extract(record.patch);
+  ASSERT_EQ(response.features.vector.size(), offline.size());
+  for (std::size_t i = 0; i < offline.size(); ++i) {
+    EXPECT_EQ(response.features.vector[i], offline[i]);
+  }
+
+  // Synthetic ids featurize on demand through the same extractor.
+  const synth::SyntheticPatch& synthetic = db.synthetic.front();
+  request.id = synthetic.patch.commit;
+  response = dataset.features(request);
+  ASSERT_EQ(response.status, serve::Status::kOk);
+  const feature::FeatureVector synth_offline =
+      feature::extract(synthetic.patch);
+  ASSERT_EQ(response.features.vector.size(), synth_offline.size());
+  for (std::size_t i = 0; i < synth_offline.size(); ++i) {
+    EXPECT_EQ(response.features.vector[i], synth_offline[i]);
+  }
+}
+
+TEST(ServeDataset, StatsMatchOfflineCategorizerScan) {
+  const serve::ServedDataset dataset = make_dataset();
+  const core::PatchDb& db = shared_db();
+  const serve::Response response = dataset.stats(serve::StatsRequest{});
+  ASSERT_EQ(response.status, serve::Status::kOk);
+  const serve::StatsResponse& stats = response.stats;
+
+  EXPECT_EQ(stats.nvd, db.nvd_security.size());
+  EXPECT_EQ(stats.wild, db.wild_security.size());
+  EXPECT_EQ(stats.nonsecurity, db.nonsecurity.size());
+  EXPECT_EQ(stats.synthetic, db.synthetic.size());
+
+  // Offline Table V scan over the same records.
+  std::uint64_t security_total = 0;
+  std::uint64_t agreement = 0;
+  std::vector<std::uint64_t> labeled(corpus::kSecurityTypeCount, 0);
+  std::vector<std::uint64_t> predicted(corpus::kSecurityTypeCount, 0);
+  const std::vector<diff::Patch> natural = natural_patches();
+  std::vector<const corpus::CommitRecord*> records;
+  for (const corpus::CommitRecord& r : db.nvd_security) records.push_back(&r);
+  for (const corpus::CommitRecord& r : db.wild_security) records.push_back(&r);
+  for (const corpus::CommitRecord& r : db.nonsecurity) records.push_back(&r);
+  for (const corpus::CommitRecord* r : records) {
+    if (!corpus::is_security_type(r->truth.type)) continue;
+    ++security_total;
+    ++labeled[static_cast<std::size_t>(static_cast<int>(r->truth.type)) - 1];
+    const corpus::PatchType p = core::categorize(r->patch);
+    if (corpus::is_security_type(p)) {
+      ++predicted[static_cast<std::size_t>(static_cast<int>(p)) - 1];
+    }
+    if (p == r->truth.type) ++agreement;
+  }
+  EXPECT_EQ(stats.security_total, security_total);
+  EXPECT_EQ(stats.agreement, agreement);
+  ASSERT_EQ(stats.categories.size(), corpus::kSecurityTypeCount);
+  for (std::size_t i = 0; i < corpus::kSecurityTypeCount; ++i) {
+    EXPECT_EQ(stats.categories[i].type, static_cast<std::int64_t>(i + 1));
+    EXPECT_EQ(stats.categories[i].labeled, labeled[i]);
+    EXPECT_EQ(stats.categories[i].predicted, predicted[i]);
+  }
+}
+
+TEST(ServeDataset, LookupAndAnalyzeMatchOfflinePaths) {
+  const serve::ServedDataset dataset = make_dataset();
+  const core::PatchDb& db = shared_db();
+  const corpus::CommitRecord& record = db.nvd_security.front();
+
+  serve::LookupRequest lookup;
+  lookup.id = record.patch.commit;
+  const serve::Response looked = dataset.lookup(lookup);
+  ASSERT_EQ(looked.status, serve::Status::kOk);
+  EXPECT_EQ(looked.lookup.patch_text, diff::render_patch(record.patch));
+  EXPECT_EQ(looked.lookup.component, serve::WireComponent::kNvd);
+  EXPECT_EQ(looked.lookup.repo, record.repo);
+
+  // Submitting that very text to analyze categorizes identically to the
+  // offline categorizer on the parsed patch.
+  serve::AnalyzeRequest analyze;
+  analyze.diff_text = looked.lookup.patch_text;
+  const serve::Response analyzed = dataset.analyze(analyze);
+  ASSERT_EQ(analyzed.status, serve::Status::kOk);
+  EXPECT_EQ(analyzed.analyze.category,
+            static_cast<std::int64_t>(core::categorize(record.patch)));
+}
+
+TEST(ServeDataset, RejectsBadQueries) {
+  const serve::ServedDataset dataset = make_dataset();
+
+  serve::LookupRequest lookup;
+  lookup.id = "0000000000000000000000000000000000000000";
+  EXPECT_EQ(dataset.lookup(lookup).status, serve::Status::kNotFound);
+
+  serve::NearestRequest nearest;
+  nearest.by_id = false;
+  nearest.vector = {1.0, 2.0};  // wrong dimensionality
+  EXPECT_EQ(dataset.nearest(nearest).status, serve::Status::kBadRequest);
+  nearest.by_id = true;
+  nearest.id = natural_patches().front().commit;
+  nearest.k = 0;
+  EXPECT_EQ(dataset.nearest(nearest).status, serve::Status::kBadRequest);
+
+  serve::AnalyzeRequest analyze;
+  analyze.diff_text = "this is not a unified diff";
+  EXPECT_EQ(dataset.analyze(analyze).status, serve::Status::kBadRequest);
+}
+
+// -------------------------------------------------------------- server --
+
+TEST(ServeServer, Serves64ConcurrentConnectionsAcrossAllOps) {
+  const serve::ServedDataset dataset = make_dataset();
+  serve::ServerOptions options;
+  options.threads = 64;
+  serve::Server server(dataset, options);
+  server.start();
+
+  const std::vector<diff::Patch> natural = natural_patches();
+  const std::string query_id = natural.front().commit;
+
+  // Single-connection reference results; the concurrent storm must
+  // reproduce them exactly (same immutable snapshot, same kernels).
+  serve::Client reference;
+  reference.connect("127.0.0.1", server.port());
+  const serve::Response ref_nearest = reference.nearest_by_id(query_id, 5);
+  const serve::Response ref_stats = reference.stats();
+  const serve::Response ref_lookup = reference.lookup(query_id);
+  ASSERT_EQ(ref_nearest.status, serve::Status::kOk);
+  ASSERT_EQ(ref_stats.status, serve::Status::kOk);
+  ASSERT_EQ(ref_lookup.status, serve::Status::kOk);
+  reference.close();
+
+  constexpr std::size_t kConns = 64;
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> ok_requests{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kConns);
+  for (std::size_t t = 0; t < kConns; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        serve::Client client;
+        client.connect("127.0.0.1", server.port());
+        const std::string& id = natural[t % natural.size()].commit;
+
+        const serve::Response lookup = client.lookup(query_id);
+        const serve::Response features = client.features(id);
+        const serve::Response nearest = client.nearest_by_id(query_id, 5);
+        const serve::Response stats = client.stats();
+        const serve::Response analyze =
+            client.analyze(ref_lookup.lookup.patch_text);
+        for (const serve::Response* r :
+             {&lookup, &features, &nearest, &stats, &analyze}) {
+          if (r->status != serve::Status::kOk) {
+            failures.fetch_add(1);
+          } else {
+            ok_requests.fetch_add(1);
+          }
+        }
+        // Bit-identical across connections and to the reference.
+        if (!(nearest.nearest == ref_nearest.nearest)) failures.fetch_add(1);
+        if (!(stats.stats == ref_stats.stats)) failures.fetch_add(1);
+        if (lookup.lookup.patch_text != ref_lookup.lookup.patch_text) {
+          failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.stop();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(ok_requests.load(), kConns * 5);
+  EXPECT_GE(server.connections_accepted(), kConns);
+}
+
+TEST(ServeServer, MalformedFrameGetsErrorResponseAndClose) {
+  const serve::ServedDataset dataset = make_dataset();
+  serve::ServerOptions options;
+  options.threads = 2;
+  serve::Server server(dataset, options);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // A frame header advertising a body far beyond the cap.
+  const unsigned char evil[4] = {0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(::send(fd, evil, sizeof(evil), MSG_NOSIGNAL), 4);
+
+  // The server answers with one kBadRequest frame, then closes.
+  unsigned char header[4];
+  std::size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = ::recv(fd, header + got, sizeof(header) - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  const std::size_t body_len = serve::parse_frame_header(header);
+  std::string body(body_len, '\0');
+  got = 0;
+  while (got < body_len) {
+    const ssize_t n = ::recv(fd, body.data() + got, body_len - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  const serve::Response response = serve::decode_response(serve::Op::kPing, body);
+  EXPECT_EQ(response.status, serve::Status::kBadRequest);
+
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // orderly close
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServeServer, GracefulDrainAnswersInFlightThenRefusesNew) {
+  const serve::ServedDataset dataset = make_dataset();
+  serve::ServerOptions options;
+  options.threads = 8;
+  serve::Server server(dataset, options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  // Clients hammer ping until the drain cuts them off; every response
+  // that does arrive must decode as kOk (no torn frames on shutdown).
+  constexpr std::size_t kClients = 4;
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> bad{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      try {
+        serve::Client client;
+        client.connect("127.0.0.1", port);
+        for (;;) {
+          const serve::Response r = client.ping();
+          if (r.status == serve::Status::kOk) {
+            ok.fetch_add(1);
+          } else {
+            bad.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        // Drain closed the connection at a frame boundary — expected.
+      }
+    });
+  }
+  // Let the clients get some requests through, then drain.
+  while (ok.load() < kClients) {
+    std::this_thread::yield();
+  }
+  server.stop();
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GE(ok.load(), kClients);
+  EXPECT_FALSE(server.running());
+
+  // The listen socket is gone: new connections are refused.
+  serve::Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", port), std::runtime_error);
+}
+
+// ------------------------------------------------------ read-only store --
+
+class ServeStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("patchdb_serve_store_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    store::export_patchdb(shared_db(), root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(ServeStoreTest, ConcurrentLoadsOfOneSealedExportAgree) {
+  constexpr std::size_t kLoaders = 8;
+  const core::PatchDb& db = shared_db();
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kLoaders; ++t) {
+    threads.emplace_back([&] {
+      try {
+        const serve::ServedDataset loaded = serve::ServedDataset::load(root_);
+        if (loaded.size() != db.nvd_security.size() +
+                                 db.wild_security.size() +
+                                 db.nonsecurity.size() + db.synthetic.size()) {
+          failures.fetch_add(1);
+        }
+        if (loaded.find(db.nvd_security.front().patch.commit) ==
+            serve::ServedDataset::npos) {
+          failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST_F(ServeStoreTest, TruncatedManifestIsRefusedAtStartup) {
+  const auto size = fs::file_size(root_ / "manifest.csv");
+  fs::resize_file(root_ / "manifest.csv", size - 9);
+  try {
+    serve::ServedDataset::load(root_);
+    FAIL() << "truncated manifest loaded";
+  } catch (const std::runtime_error& e) {
+    // The refusal must say what is wrong, not just crash.
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ServeStoreTest, CorruptedPatchContentIsRefusedAtStartup) {
+  // Flip one byte inside an exported patch file.
+  fs::path victim;
+  for (const auto& entry : fs::directory_iterator(root_ / "nvd")) {
+    victim = entry.path();
+    break;
+  }
+  ASSERT_FALSE(victim.empty());
+  std::fstream file(victim,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(10);
+  file.put('\x7f');
+  file.close();
+  EXPECT_THROW(serve::ServedDataset::load(root_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace patchdb

@@ -1,0 +1,151 @@
+// Shared command-line plumbing for the patchdb tools (patchdb,
+// patchdbd, patchdb_client, micro_serve): strict flag parsing and the
+// observability session/artifact wrapper.
+//
+// The parsing is deliberately strict. `--nvd 4OO` used to reach
+// std::stoull and either silently truncate ("4") or escape as an
+// uncaught std::invalid_argument; now every numeric flag goes through
+// parse_size(), which accepts only a complete non-negative decimal
+// integer and otherwise prints the flag, the offending text, and exits
+// 2 (the usage-error exit the tools already use).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+
+namespace patchdb::cli {
+
+/// Strict decimal parse of a numeric flag value. Exits 2 with a
+/// message naming the flag and the bad text on anything that is not a
+/// complete non-negative integer (letters, trailing junk, minus signs,
+/// overflow, empty string).
+inline std::size_t parse_size(const std::string& tool, const std::string& flag,
+                              const std::string& raw) {
+  bool ok = !raw.empty();
+  unsigned long long value = 0;
+  std::size_t consumed = 0;
+  if (ok && (raw[0] == '-' || raw[0] == '+')) ok = false;
+  if (ok) {
+    try {
+      value = std::stoull(raw, &consumed);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (ok && consumed != raw.size()) ok = false;
+  if (!ok) {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got \"%s\"\n",
+                 tool.c_str(), flag.c_str(), raw.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// `--flag value` parser over argv[first..]. Numeric lookups are
+/// strict: a malformed value is a usage error (exit 2), never an
+/// exception or a silent truncation.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first, std::string tool = "patchdb")
+      : tool_(std::move(tool)) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string value(const std::string& name, std::string fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) return args_[i + 1];
+    }
+    return fallback;
+  }
+
+  std::size_t value(const std::string& name, std::size_t fallback) const {
+    const std::string raw = value(name, std::string());
+    return raw.empty() ? fallback : parse_size(tool_, name, raw);
+  }
+
+  bool has(const std::string& name) const {
+    for (const std::string& a : args_) {
+      if (a == name) return true;
+    }
+    return false;
+  }
+
+  /// First argument that is not a flag or a flag value.
+  std::string positional() const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind("--", 0) == 0) {
+        ++i;  // skip the flag's value
+        continue;
+      }
+      return args_[i];
+    }
+    return {};
+  }
+
+  const std::string& tool() const noexcept { return tool_; }
+
+ private:
+  std::string tool_;
+  std::vector<std::string> args_;
+};
+
+/// Shared observability plumbing for the pipeline commands: applies
+/// --progress/--progress-ms, installs an ObsSession, and — when
+/// --trace-out or --metrics-out asks for an artifact — runs a
+/// ResourceSampler at --sample-ms (default 50) for the command's
+/// lifetime. report() stops the sampler and snapshots;
+/// write_artifacts() honors --metrics-out and --trace-out.
+class CliObs {
+ public:
+  CliObs(const char* name, const Flags& flags)
+      : trace_out_(flags.value("--trace-out", std::string())),
+        metrics_out_(flags.value("--metrics-out", std::string())),
+        obs_(name) {
+    if (flags.has("--progress")) obs::set_progress_interval_ms(1000);
+    const std::size_t progress_ms = flags.value("--progress-ms", std::size_t{0});
+    if (progress_ms > 0) obs::set_progress_interval_ms(progress_ms);
+    const bool want_artifacts = !trace_out_.empty() || !metrics_out_.empty();
+    if (obs_.installed() && want_artifacts) {
+      obs::ResourceSampler::Options opt;
+      opt.interval = std::chrono::milliseconds(
+          static_cast<long>(flags.value("--sample-ms", std::size_t{50})));
+      sampler_ = std::make_unique<obs::ResourceSampler>(opt);
+      obs_.attach_sampler(sampler_.get());
+      sampler_->start();
+    }
+  }
+
+  obs::RunReport report() {
+    if (sampler_) sampler_->stop();  // idempotent
+    return obs_.report();
+  }
+
+  void write_artifacts(const obs::RunReport& report) {
+    if (!metrics_out_.empty()) {
+      obs::write_report_file(report, metrics_out_);
+      std::printf("metrics written to %s\n", metrics_out_.c_str());
+    }
+    if (!trace_out_.empty()) {
+      obs::write_trace_file(report, trace_out_);
+      std::printf("trace written to %s (load in Perfetto / chrome://tracing)\n",
+                  trace_out_.c_str());
+    }
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  obs::ObsSession obs_;
+  std::unique_ptr<obs::ResourceSampler> sampler_;
+};
+
+}  // namespace patchdb::cli

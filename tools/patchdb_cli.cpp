@@ -73,9 +73,13 @@
 #include "util/strings.h"
 #include "util/table.h"
 
+#include "cli_common.h"
+
 namespace {
 
 using namespace patchdb;
+using cli::CliObs;
+using cli::Flags;
 
 int usage() {
   std::fprintf(stderr,
@@ -109,98 +113,6 @@ std::string read_file_or_die(const std::string& path) {
   }
   return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
-
-/// Trivial --flag value parser over argv[2..].
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
-  }
-
-  std::string value(const std::string& name, std::string fallback) const {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
-      if (args_[i] == name) return args_[i + 1];
-    }
-    return fallback;
-  }
-
-  std::size_t value(const std::string& name, std::size_t fallback) const {
-    const std::string raw = value(name, std::string());
-    return raw.empty() ? fallback : static_cast<std::size_t>(std::stoull(raw));
-  }
-
-  bool has(const std::string& name) const {
-    for (const std::string& a : args_) {
-      if (a == name) return true;
-    }
-    return false;
-  }
-
-  /// First argument that is not a flag or a flag value.
-  std::string positional() const {
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (args_[i].rfind("--", 0) == 0) {
-        ++i;  // skip the flag's value
-        continue;
-      }
-      return args_[i];
-    }
-    return {};
-  }
-
- private:
-  std::vector<std::string> args_;
-};
-
-/// Shared observability plumbing for the pipeline commands: applies
-/// --progress/--progress-ms, installs an ObsSession, and — when
-/// --trace-out or --metrics-out asks for an artifact — runs a
-/// ResourceSampler at --sample-ms (default 50) for the command's
-/// lifetime. report() stops the sampler and snapshots;
-/// write_artifacts() honors --metrics-out and --trace-out.
-class CliObs {
- public:
-  CliObs(const char* name, const Flags& flags)
-      : trace_out_(flags.value("--trace-out", std::string())),
-        metrics_out_(flags.value("--metrics-out", std::string())),
-        obs_(name) {
-    if (flags.has("--progress")) obs::set_progress_interval_ms(1000);
-    const std::size_t progress_ms = flags.value("--progress-ms", std::size_t{0});
-    if (progress_ms > 0) obs::set_progress_interval_ms(progress_ms);
-    const bool want_artifacts = !trace_out_.empty() || !metrics_out_.empty();
-    if (obs_.installed() && want_artifacts) {
-      obs::ResourceSampler::Options opt;
-      opt.interval = std::chrono::milliseconds(
-          static_cast<long>(flags.value("--sample-ms", std::size_t{50})));
-      sampler_ = std::make_unique<obs::ResourceSampler>(opt);
-      obs_.attach_sampler(sampler_.get());
-      sampler_->start();
-    }
-  }
-
-  obs::RunReport report() {
-    if (sampler_) sampler_->stop();  // idempotent
-    return obs_.report();
-  }
-
-  void write_artifacts(const obs::RunReport& report) {
-    if (!metrics_out_.empty()) {
-      obs::write_report_file(report, metrics_out_);
-      std::printf("metrics written to %s\n", metrics_out_.c_str());
-    }
-    if (!trace_out_.empty()) {
-      obs::write_trace_file(report, trace_out_);
-      std::printf("trace written to %s (load in Perfetto / chrome://tracing)\n",
-                  trace_out_.c_str());
-    }
-  }
-
- private:
-  std::string trace_out_;
-  std::string metrics_out_;
-  obs::ObsSession obs_;
-  std::unique_ptr<obs::ResourceSampler> sampler_;
-};
 
 /// `--streaming [--link-topk K] [--link-tile N] [--link-mem-mb MB]`:
 /// route the augmentation rounds through the streaming tiled

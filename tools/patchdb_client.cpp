@@ -1,0 +1,227 @@
+// patchdb_client — command-line client for a running patchdbd.
+//
+//   patchdb_client <command> [args] --port P [--host H]
+//     ping
+//     lookup ID
+//     features ID [--semantic | --interproc]
+//     nearest ID [--k K]
+//     nearest --vector "v0,v1,..." [--k K]
+//     stats
+//     analyze FILE.patch [--interproc]
+//     ids [--component nvd|wild|nonsecurity|synthetic] [--limit N]
+//
+// Exit 0 on a kOk response, 1 on a server-reported error or transport
+// failure, 2 on usage errors. Put positional arguments before flags.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/strings.h"
+
+#include "cli_common.h"
+
+namespace {
+
+using namespace patchdb;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: patchdb_client <command> [args] --port P [--host H]\n"
+               "  ping\n"
+               "  lookup ID\n"
+               "  features ID [--semantic | --interproc]\n"
+               "  nearest ID [--k K]\n"
+               "  nearest --vector \"v0,v1,...\" [--k K]\n"
+               "  stats\n"
+               "  analyze FILE.patch [--interproc]\n"
+               "  ids [--component nvd|wild|nonsecurity|synthetic]"
+               " [--limit N]\n");
+  return 2;
+}
+
+std::string_view component_name(serve::WireComponent component) {
+  switch (component) {
+    case serve::WireComponent::kAll: return "all";
+    case serve::WireComponent::kNvd: return "nvd";
+    case serve::WireComponent::kWild: return "wild";
+    case serve::WireComponent::kNonsecurity: return "nonsecurity";
+    case serve::WireComponent::kSynthetic: return "synthetic";
+  }
+  return "unknown";
+}
+
+/// Print a non-kOk response and return the tool's failure exit code.
+int report_error(const serve::Response& response) {
+  std::fprintf(stderr, "patchdb_client: %s: %s\n",
+               std::string(serve::status_name(response.status)).c_str(),
+               response.error.c_str());
+  return 1;
+}
+
+int run(const std::string& command, const cli::Flags& flags) {
+  const std::string host = flags.value("--host", std::string("127.0.0.1"));
+  const std::size_t port = flags.value("--port", std::size_t{0});
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "patchdb_client: --port P (1..65535) is required\n");
+    return 2;
+  }
+
+  serve::Client client;
+  client.connect(host, static_cast<std::uint16_t>(port));
+
+  if (command == "ping") {
+    const serve::Response r = client.ping();
+    if (r.status != serve::Status::kOk) return report_error(r);
+    std::printf("protocol v%u, %llu patches\n", r.ping.protocol_version,
+                static_cast<unsigned long long>(r.ping.patches));
+    return 0;
+  }
+
+  if (command == "lookup") {
+    const std::string id = flags.positional();
+    if (id.empty()) return usage();
+    const serve::Response r = client.lookup(id);
+    if (r.status != serve::Status::kOk) return report_error(r);
+    std::printf("component: %s\nsecurity: %s\ntype: %lld\n",
+                std::string(component_name(r.lookup.component)).c_str(),
+                r.lookup.is_security ? "yes" : "no",
+                static_cast<long long>(r.lookup.type));
+    if (!r.lookup.repo.empty()) {
+      std::printf("repo: %s\n", r.lookup.repo.c_str());
+    }
+    if (!r.lookup.origin.empty()) {
+      std::printf("origin: %s\n", r.lookup.origin.c_str());
+    }
+    std::printf("---\n%s", r.lookup.patch_text.c_str());
+    return 0;
+  }
+
+  if (command == "features") {
+    const std::string id = flags.positional();
+    if (id.empty()) return usage();
+    serve::WireFeatureSpace space = serve::WireFeatureSpace::kSyntactic;
+    if (flags.has("--semantic")) space = serve::WireFeatureSpace::kSemantic;
+    if (flags.has("--interproc")) space = serve::WireFeatureSpace::kInterproc;
+    const serve::Response r = client.features(id, space);
+    if (r.status != serve::Status::kOk) return report_error(r);
+    for (std::size_t i = 0; i < r.features.vector.size(); ++i) {
+      std::printf("%s%.17g", i == 0 ? "" : " ", r.features.vector[i]);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  if (command == "nearest") {
+    const std::uint32_t k =
+        static_cast<std::uint32_t>(flags.value("--k", std::size_t{5}));
+    serve::Response r;
+    const std::string vector_text = flags.value("--vector", std::string());
+    if (!vector_text.empty()) {
+      std::vector<double> vector;
+      for (std::string_view part : util::split(vector_text, ',')) {
+        try {
+          vector.push_back(std::stod(std::string(part)));
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "patchdb_client: bad --vector element \"%s\"\n",
+                       std::string(part).c_str());
+          return 2;
+        }
+      }
+      r = client.nearest_by_vector(vector, k);
+    } else {
+      const std::string id = flags.positional();
+      if (id.empty()) return usage();
+      r = client.nearest_by_id(id, k);
+    }
+    if (r.status != serve::Status::kOk) return report_error(r);
+    for (const serve::NearestHit& hit : r.nearest.hits) {
+      std::printf("%s %.9g\n", hit.id.c_str(),
+                  static_cast<double>(hit.distance));
+    }
+    return 0;
+  }
+
+  if (command == "stats") {
+    const serve::Response r = client.stats();
+    if (r.status != serve::Status::kOk) return report_error(r);
+    const serve::StatsResponse& s = r.stats;
+    std::printf("nvd: %llu\nwild: %llu\nnonsecurity: %llu\nsynthetic: %llu\n",
+                static_cast<unsigned long long>(s.nvd),
+                static_cast<unsigned long long>(s.wild),
+                static_cast<unsigned long long>(s.nonsecurity),
+                static_cast<unsigned long long>(s.synthetic));
+    std::printf("security labeled: %llu, categorizer agreement: %llu\n",
+                static_cast<unsigned long long>(s.security_total),
+                static_cast<unsigned long long>(s.agreement));
+    for (const serve::CategoryCount& c : s.categories) {
+      std::printf("type %2lld: labeled %llu, predicted %llu\n",
+                  static_cast<long long>(c.type),
+                  static_cast<unsigned long long>(c.labeled),
+                  static_cast<unsigned long long>(c.predicted));
+    }
+    return 0;
+  }
+
+  if (command == "analyze") {
+    const std::string path = flags.positional();
+    if (path.empty()) return usage();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "patchdb_client: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    const std::string diff_text{std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>()};
+    const serve::Response r =
+        client.analyze(diff_text, flags.has("--interproc"));
+    if (r.status != serve::Status::kOk) return report_error(r);
+    std::printf("category: %lld\nresolved: %llu\nintroduced: %llu\n%s",
+                static_cast<long long>(r.analyze.category),
+                static_cast<unsigned long long>(r.analyze.resolved),
+                static_cast<unsigned long long>(r.analyze.introduced),
+                r.analyze.report.c_str());
+    return 0;
+  }
+
+  if (command == "ids") {
+    const std::string which = flags.value("--component", std::string("all"));
+    serve::WireComponent component = serve::WireComponent::kAll;
+    if (which == "nvd") component = serve::WireComponent::kNvd;
+    else if (which == "wild") component = serve::WireComponent::kWild;
+    else if (which == "nonsecurity") component = serve::WireComponent::kNonsecurity;
+    else if (which == "synthetic") component = serve::WireComponent::kSynthetic;
+    else if (which != "all") {
+      std::fprintf(stderr, "patchdb_client: unknown component \"%s\"\n",
+                   which.c_str());
+      return 2;
+    }
+    const std::uint32_t limit =
+        static_cast<std::uint32_t>(flags.value("--limit", std::size_t{0}));
+    const serve::Response r = client.list_ids(component, limit);
+    if (r.status != serve::Status::kOk) return report_error(r);
+    for (const std::string& id : r.list_ids.ids) {
+      std::printf("%s\n", id.c_str());
+    }
+    return 0;
+  }
+
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const cli::Flags flags(argc, argv, 2, "patchdb_client");
+  try {
+    return run(command, flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "patchdb_client: %s\n", e.what());
+    return 1;
+  }
+}
