@@ -23,9 +23,11 @@
 #include "nn/gru.h"
 #include "nn/vocab.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/progress.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 namespace patchdb::bench {
@@ -242,6 +244,23 @@ class Session {
     if (finished_) return;
     finished_ = true;
     if (sampler_) sampler_->stop();
+    if (obs_.installed()) {
+      // Record the pool's actual shape into the artifact: the worker
+      // count as a gauge and each worker's cumulative busy time as a
+      // histogram observation. A single-threaded pathology (the
+      // pool.threads: 1 bench runs this replaces) then shows up as
+      // workers_active = 1 with one hot histogram lane, instead of
+      // silently producing a serial measurement.
+      const std::vector<double> busy = util::default_pool().worker_busy_ms();
+      std::size_t active = 0;
+      for (const double ms : busy) {
+        obs::histogram_observe("pool.worker_busy_ms", ms);
+        if (ms > 0.0) ++active;
+      }
+      obs::gauge_set("pool.threads",
+                     static_cast<double>(util::default_pool().size()));
+      obs::gauge_set("pool.workers_active", static_cast<double>(active));
+    }
     const obs::RunReport report = obs_.report();
     const std::uint64_t items = report.metrics.counter("bench.items");
     const double rate =

@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "core/categorize.h"
 #include "core/distance.h"
 #include "core/nearest_link.h"
+#include "core/streaming_link.h"
 #include "corpus/repo.h"
 #include "diff/myers.h"
 #include "feature/features.h"
@@ -21,6 +24,7 @@
 #include "nn/gru.h"
 #include "nn/vocab.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "synth/synthesize.h"
@@ -217,6 +221,45 @@ void BM_SynthesizePatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizePatch);
 
+// Reduced-scale dense-vs-streaming probe for the CI gate: one dense run
+// and one streaming run over the same inputs, with the verdict recorded
+// as nearest_link.bench.* gauges in the metrics artifact. bench_diff
+// then enforces machine-independent rules (identical = 1, a speedup
+// floor, pool.threads >= 2) without paying the full 1000 x 100000
+// ablation scale on every push.
+bool run_link_check(std::size_t m, std::size_t n) {
+  const auto sec = random_features(m, 7);
+  const auto wild = random_features(n, 8);
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::DistanceMatrix d = core::distance_matrix(sec, wild, w);
+  const core::LinkResult dense = core::nearest_link_search(d);
+  const auto t1 = std::chrono::steady_clock::now();
+  core::StreamingLinkStats stats;
+  const core::LinkResult streamed =
+      core::streaming_nearest_link(sec, wild, w, {}, &stats);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double dense_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double stream_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  const bool identical = dense.candidate == streamed.candidate &&
+                         dense.total_distance == streamed.total_distance;
+  const double speedup = stream_ms > 0.0 ? dense_ms / stream_ms : 0.0;
+  obs::gauge_set("nearest_link.bench.dense_ms", dense_ms);
+  obs::gauge_set("nearest_link.bench.streaming_ms", stream_ms);
+  obs::gauge_set("nearest_link.bench.speedup", speedup);
+  obs::gauge_set("nearest_link.bench.identical", identical ? 1.0 : 0.0);
+  obs::gauge_set("nearest_link.bench.threads",
+                 static_cast<double>(stats.threads));
+  std::printf(
+      "link-check %zux%zu: dense %.1f ms, streaming %.1f ms (%.2fx, "
+      "%zu threads), results %s\n",
+      m, n, dense_ms, stream_ms, speedup, stats.threads,
+      identical ? "identical" : "DIVERGED");
+  return identical;
+}
+
 void BM_GruInference(benchmark::State& state) {
   nn::SequenceDataset train;
   util::Rng rng(31);
@@ -243,7 +286,7 @@ BENCHMARK(BM_GruInference);
 
 // Custom main instead of BENCHMARK_MAIN(): google-benchmark aborts on
 // flags it does not know, so the obs flags (--metrics-out, --trace-out,
-// --sample-ms) are peeled off argv first. When given, the whole run
+// --sample-ms) and --link-check[=MxN] are peeled off argv first. When given, the whole run
 // executes under an ObsSession with a ResourceSampler and the
 // counters/spans the kernels record (distance.tiles, nearest_link.*)
 // land in machine-readable artifacts — this is what the CI bench-smoke
@@ -252,6 +295,9 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   long sample_ms = 50;
+  bool link_check = false;
+  std::size_t link_m = 250;
+  std::size_t link_n = 25000;
   std::vector<char*> args;
   const auto peel = [&](std::string_view arg, std::string_view name,
                         int& i, std::string& out) {
@@ -273,6 +319,29 @@ int main(int argc, char** argv) {
         peel(arg, "trace-out", i, trace_out)) {
       continue;
     }
+    // --link-check[=MxN]: run the dense-vs-streaming identity/speedup
+    // probe after the benchmarks (default shape 250x25000).
+    if (arg == "--link-check") {
+      link_check = true;
+      continue;
+    }
+    if (arg.rfind("--link-check=", 0) == 0) {
+      link_check = true;
+      const std::string shape(arg.substr(std::strlen("--link-check=")));
+      char* end = nullptr;
+      link_m = std::strtoull(shape.c_str(), &end, 10);
+      const bool m_ok = end != shape.c_str() && *end == 'x' && link_m > 0;
+      const char* n_text = m_ok ? end + 1 : end;
+      link_n = std::strtoull(n_text, &end, 10);
+      if (!m_ok || end == n_text || *end != '\0' || link_n == 0) {
+        std::fprintf(stderr,
+                     "micro_core: bad --link-check shape \"%s\" (want MxN, "
+                     "e.g. 250x25000)\n",
+                     shape.c_str());
+        return 2;
+      }
+      continue;
+    }
     if (peel(arg, "sample-ms", i, sample_value)) {
       sample_ms = std::strtol(sample_value.c_str(), nullptr, 10);
       continue;
@@ -284,6 +353,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
+  bool link_ok = true;
   {
     patchdb::obs::ObsSession session("micro_core");
     patchdb::obs::ResourceSampler sampler(
@@ -294,6 +364,7 @@ int main(int argc, char** argv) {
       sampler.start();
     }
     benchmark::RunSpecifiedBenchmarks();
+    if (link_check) link_ok = run_link_check(link_m, link_n);
     sampler.stop();
     if (want_artifacts) {
       const patchdb::obs::RunReport report = session.report();
@@ -306,5 +377,11 @@ int main(int argc, char** argv) {
     }
   }
   benchmark::Shutdown();
+  if (!link_ok) {
+    std::fprintf(stderr,
+                 "micro_core: link-check FAILED (streaming result diverged "
+                 "from dense)\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+
+#include "core/link_kernel.h"
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -57,6 +59,30 @@ void IncrementalLinker::set_pool(const feature::FeatureMatrix& pool,
     weigh_into(pool_.data() + i * dims_, pool[i], weights);
     pool_norm_[i] = row_norm(pool_.data() + i * dims_, dims_);
   }
+  // Pack the pool dim-major in kLinkGroupCols-row groups for the
+  // blocked kernel, and hoist the norm-screen bounds to one min/max
+  // pair per group. Removals never touch these: bounds over a superset
+  // stay conservative, and dead lanes are filtered at insertion.
+  const std::size_t groups =
+      (pool_count_ + kLinkGroupCols - 1) / kLinkGroupCols;
+  pool_t_.assign(groups * kLinkGroupCols * dims_, 0.0f);
+  group_norm_lo_.resize(groups);
+  group_norm_hi_.resize(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t lo = g * kLinkGroupCols;
+    const std::size_t width = std::min(kLinkGroupCols, pool_count_ - lo);
+    pack_cols_dim_major(pool_.data() + lo * dims_, width, dims_,
+                        kLinkGroupCols,
+                        pool_t_.data() + g * kLinkGroupCols * dims_);
+    double mn = pool_norm_[lo];
+    double mx = pool_norm_[lo];
+    for (std::size_t i = lo + 1; i < lo + width; ++i) {
+      mn = std::min(mn, pool_norm_[i]);
+      mx = std::max(mx, pool_norm_[i]);
+    }
+    group_norm_lo_[g] = mn;
+    group_norm_hi_[g] = mx;
+  }
   alive_.assign(pool_count_, 1);
   live_count_ = pool_count_;
   // All caches are invalid against a new pool.
@@ -86,11 +112,15 @@ void IncrementalLinker::compute_cache(std::size_t seed_index) {
   const float* s = seed_row(seed_index);
   const double ns = seed_norm_[seed_index];
   // Cauchy-Schwarz screening once the heap is full: ||a-b||^2 >=
-  // (||a|| - ||b||)^2, so a pool row whose margin-adjusted norm gap
-  // already exceeds the heap's worst entry cannot enter the top-k. The
+  // (||a|| - ||b||)^2, so a pool group whose margin-adjusted norm-range
+  // gap already exceeds the heap's worst entry cannot contribute to the
+  // top-k. The group gap lower-bounds every member row's gap and the
+  // significance guard is at least as strict as the per-row one, so the
   // conservative margin (float-kernel accumulation error, 4x headroom)
-  // plus the significance guard keep the surviving set — and therefore
-  // the cached heap — exactly what the unscreened scan produced.
+  // keeps the cached heap exactly what the unscreened scan produced.
+  // Surviving groups run the blocked SIMD kernel; each lane's squared
+  // distance is bit-identical to the scalar accumulation, and lanes
+  // that cannot beat the heap front are simply not inserted.
   const double sqf =
       1.0 - 2.0 * (4.0 * static_cast<double>(dims_ + 2) * 0x1p-24 + 1e-7);
   std::uint64_t pruned = 0;
@@ -100,25 +130,36 @@ void IncrementalLinker::compute_cache(std::size_t seed_index) {
   auto cmp = [](const Neighbor& a, const Neighbor& b) {
     return a.distance < b.distance;  // max-heap on distance
   };
-  for (std::size_t i = 0; i < pool_count_; ++i) {
-    if (!alive_[i]) continue;
+  float lane[kLinkGroupCols];
+  const std::size_t groups =
+      (pool_count_ + kLinkGroupCols - 1) / kLinkGroupCols;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t lo = g * kLinkGroupCols;
+    const std::size_t width = std::min(kLinkGroupCols, pool_count_ - lo);
     if (k_ > 0 && heap.size() == k_) {
-      const double np = pool_norm_[i];
-      const double bd = ns > np ? ns - np : np - ns;
-      if (bd > (ns + np) * 1e-9 &&
+      const double bd = ns < group_norm_lo_[g] ? group_norm_lo_[g] - ns
+                        : ns > group_norm_hi_[g] ? ns - group_norm_hi_[g]
+                                                 : 0.0;
+      if (bd > (ns + group_norm_hi_[g]) * 1e-9 &&
           bd * bd * sqf > static_cast<double>(heap.front().distance)) {
-        ++pruned;
+        pruned += width;
         continue;
       }
     }
-    const float d = sq_distance(s, pool_row(i), dims_);
-    if (heap.size() < k_) {
-      heap.push_back(Neighbor{d, static_cast<std::uint32_t>(i)});
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (!heap.empty() && d < heap.front().distance) {
-      std::pop_heap(heap.begin(), heap.end(), cmp);
-      heap.back() = Neighbor{d, static_cast<std::uint32_t>(i)};
-      std::push_heap(heap.begin(), heap.end(), cmp);
+    sq_cell_block(s, pool_t_.data() + g * kLinkGroupCols * dims_, dims_,
+                  kLinkGroupCols, kLinkGroupCols, lane);
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t i = lo + c;
+      if (!alive_[i]) continue;
+      const float d = lane[c];
+      if (heap.size() < k_) {
+        heap.push_back(Neighbor{d, static_cast<std::uint32_t>(i)});
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (!heap.empty() && d < heap.front().distance) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = Neighbor{d, static_cast<std::uint32_t>(i)};
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
     }
   }
   std::sort_heap(heap.begin(), heap.end(), cmp);  // ascending distance

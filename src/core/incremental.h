@@ -65,7 +65,18 @@ class IncrementalLinker {
   std::size_t dims_ = feature::kFeatureCount;  // set by set_pool
   std::vector<double> weights_;
   std::vector<float> pool_;  // weighted, row-major pool_count x dims_
+  /// Dim-major copy of pool_ in kLinkGroupCols-row groups for the
+  /// blocked SIMD kernel: group g spans rows [g*64, g*64+64) with
+  /// element (row g*64+c, dim j) at pool_t_[(g*dims_ + j)*64 + c];
+  /// lanes past pool_count_ are zero-filled.
+  std::vector<float> pool_t_;
   std::vector<double> pool_norm_;  // ||row|| per pool entry (norm screening)
+  /// Min/max of pool_norm_ per kLinkGroupCols group, computed over all
+  /// rows at set_pool time (conservative for later removals): one
+  /// hoisted Cauchy-Schwarz screen decision per group instead of one
+  /// per row.
+  std::vector<double> group_norm_lo_;
+  std::vector<double> group_norm_hi_;
   std::size_t pool_count_ = 0;
   std::vector<char> alive_;
   std::size_t live_count_ = 0;

@@ -1,7 +1,6 @@
 #include "core/streaming_link.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -9,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/link_kernel.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -30,23 +30,15 @@ bool lex_less(const Entry& a, const Entry& b) noexcept {
   return a.d < b.d || (a.d == b.d && a.col < b.col);
 }
 
-/// Squared norm (and its root) of one scaled row, accumulated in
-/// double so the screening bounds lose almost nothing to rounding.
-std::pair<double, double> squared_norm(const float* v, std::size_t dims) noexcept {
+/// Norm of one scaled row, accumulated in double so the screening
+/// bounds lose almost nothing to rounding.
+double row_norm_s(const float* v, std::size_t dims) noexcept {
   double total = 0.0;
   for (std::size_t j = 0; j < dims; ++j) {
     const double x = v[j];
     total += x * x;
   }
-  return {total, std::sqrt(total)};
-}
-
-double dot(const float* a, const float* b, std::size_t dims) noexcept {
-  double total = 0.0;
-  for (std::size_t j = 0; j < dims; ++j) {
-    total += static_cast<double>(a[j]) * static_cast<double>(b[j]);
-  }
-  return total;
+  return std::sqrt(total);
 }
 
 /// Conservative relative margin for comparing a double-precision
@@ -57,35 +49,70 @@ double screening_margin(std::size_t dims) noexcept {
   return 4.0 * static_cast<double>(dims + 2) * 0x1p-24 + 1e-7;
 }
 
+std::size_t round_up_groups(std::size_t v) noexcept {
+  return (v + kLinkGroupCols - 1) / kLinkGroupCols * kLinkGroupCols;
+}
+
+/// Private pass-1 tallies, one per shard, padded so neighboring shards
+/// never share a cache line (the whole point is no contended writes).
+struct alignas(64) ShardTally {
+  std::uint64_t pruned = 0;
+  std::uint64_t exact = 0;
+  std::uint64_t tiles = 0;
+};
+
 }  // namespace
 
 StreamingLinkConfig::Resolved StreamingLinkConfig::resolve(
-    std::size_t rows, std::size_t cols) const {
+    std::size_t rows, std::size_t cols, std::size_t dims) const {
   Resolved r;
   r.top_k = std::clamp<std::size_t>(top_k, 1, std::max<std::size_t>(cols, 1));
-  const std::size_t tile_floor = std::min<std::size_t>(64, std::max<std::size_t>(cols, 1));
+  const std::size_t tile_floor =
+      std::min<std::size_t>(kLinkGroupCols, std::max<std::size_t>(cols, 1));
   r.tile_cols = std::clamp(tile_cols, tile_floor, std::max<std::size_t>(cols, 1));
+  r.threads = threads > 0 ? threads : util::default_pool_threads();
+  r.threads = std::clamp<std::size_t>(r.threads, 1, 1024);
 
-  auto working_set = [rows](std::size_t k, std::size_t tile) {
-    const std::size_t heap_bytes = rows * (k + 1) * sizeof(Entry);
-    const std::size_t cursor_bytes = rows * (sizeof(std::uint32_t) * 2);
-    const std::size_t row_norm_bytes = rows * sizeof(double) * 2;
-    const std::size_t tile_norm_bytes = tile * sizeof(double) * 2;
-    return heap_bytes + cursor_bytes + row_norm_bytes + tile_norm_bytes;
+  auto working_set = [rows, dims](std::size_t k, std::size_t tile,
+                                  std::size_t shards) {
+    const std::size_t stride = round_up_groups(tile);
+    const std::size_t groups = stride / kLinkGroupCols;
+    // Shard-private heaps plus the merged array pass 2 consumes.
+    const std::size_t heap_bytes = (shards + 1) * rows * (k + 1) * sizeof(Entry);
+    const std::size_t size_bytes = (shards + 1) * rows * sizeof(std::uint32_t);
+    const std::size_t cursor_bytes = rows * sizeof(std::uint32_t);
+    const std::size_t row_norm_bytes = rows * sizeof(double);
+    const std::size_t shard_tile_bytes =
+        shards * (stride * dims * sizeof(float)        // dim-major pack
+                  + tile * sizeof(double)              // column norms
+                  + groups * 2 * sizeof(double)        // group norm bounds
+                  + kLinkGroupCols * sizeof(float));   // kernel output lanes
+    return heap_bytes + size_bytes + cursor_bytes + row_norm_bytes +
+           shard_tile_bytes;
   };
 
   if (memory_cap_bytes > 0) {
     // Shrink the tile first (it only trades dispatch overhead), then the
-    // heaps (they trade fallback re-scans), down to hard floors.
+    // heaps (they trade fallback re-scans), then the shard count (it
+    // trades parallelism), down to hard floors.
     while (r.tile_cols > tile_floor &&
-           working_set(r.top_k, r.tile_cols) > memory_cap_bytes) {
+           working_set(r.top_k, r.tile_cols, r.threads) > memory_cap_bytes) {
       r.tile_cols = std::max(tile_floor, r.tile_cols / 2);
     }
-    while (r.top_k > 1 && working_set(r.top_k, r.tile_cols) > memory_cap_bytes) {
+    while (r.top_k > 1 &&
+           working_set(r.top_k, r.tile_cols, r.threads) > memory_cap_bytes) {
       r.top_k = std::max<std::size_t>(1, r.top_k / 2);
     }
+    while (r.threads > 1 &&
+           working_set(r.top_k, r.tile_cols, r.threads) > memory_cap_bytes) {
+      r.threads = std::max<std::size_t>(1, r.threads / 2);
+    }
   }
-  r.working_set_bytes = working_set(r.top_k, r.tile_cols);
+  // No point sharding finer than one tile per worker.
+  const std::size_t tiles =
+      (std::max<std::size_t>(cols, 1) + r.tile_cols - 1) / r.tile_cols;
+  r.threads = std::min(r.threads, tiles);
+  r.working_set_bytes = working_set(r.top_k, r.tile_cols, r.threads);
   return r;
 }
 
@@ -109,113 +136,199 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
   PATCHDB_TRACE_SPAN("nearest_link.streaming");
   PATCHDB_COUNTER_ADD("nearest_link.links", m);
 
-  const StreamingLinkConfig::Resolved rc = config.resolve(m, n);
+  const StreamingLinkConfig::Resolved rc = config.resolve(m, n, dims);
   const std::size_t k = rc.top_k;
   const std::size_t tile = rc.tile_cols;
+  const std::size_t shards = rc.threads;
+  const std::size_t stride = round_up_groups(tile);
+  const std::size_t tiles_total = (n + tile - 1) / tile;
 
   // Same scale-then-cast as the dense kernel: identical float inputs.
   const std::vector<float> sec = scale_features(security, weights);
   const std::vector<float> wld = scale_features(wild, weights);
 
-  std::vector<double> row_norm(m);    // ||a||^2
-  std::vector<double> row_norm_s(m);  // ||a||
+  std::vector<double> row_norm(m);  // ||a||
   util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
-      const auto [sq, root] = squared_norm(sec.data() + r * dims, dims);
-      row_norm[r] = sq;
-      row_norm_s[r] = root;
+      row_norm[r] = row_norm_s(sec.data() + r * dims, dims);
     }
   });
-
-  // Per-row bounded heaps, flat: row r owns entries [r*(k+1), r*(k+1)+k).
-  std::vector<Entry> entries(m * (k + 1));
-  std::vector<std::uint32_t> heap_size(m, 0);
 
   const double margin = screening_margin(dims);
   const double sqf = 1.0 - 2.0 * margin;  // factor on squared bounds
 
-  std::atomic<std::uint64_t> pruned_total{0};
-  std::atomic<std::uint64_t> exact_total{0};
+  // ---- Pass 1: worker-sharded tile stream. Shard s owns the
+  // contiguous tile range [s*T/S, (s+1)*T/S) and fills private per-row
+  // top-k heaps (flat: row r owns [r*(k+1), r*(k+1)+k)) plus private
+  // tallies — no shared mutable state until the merge below.
+  std::vector<std::vector<Entry>> shard_entries(shards);
+  std::vector<std::vector<std::uint32_t>> shard_sizes(shards);
+  std::vector<ShardTally> tally(shards);
+  obs::Progress tile_progress("link.tiles", tiles_total);
 
-  // ---- Pass 1: stream wild columns in tiles, filling the top-k heaps.
-  std::vector<double> col_norm(tile);
-  std::vector<double> col_norm_s(tile);
-  std::size_t tiles = 0;
-  obs::Progress tile_progress("link.tiles", (n + tile - 1) / tile);
-  for (std::size_t tile_begin = 0; tile_begin < n; tile_begin += tile) {
-    const std::size_t tile_end = std::min(tile_begin + tile, n);
-    ++tiles;
-    tile_progress.tick();
-    util::default_pool().parallel_for(
-        tile_end - tile_begin, [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            const auto [sq, root] =
-                squared_norm(wld.data() + (tile_begin + i) * dims, dims);
-            col_norm[i] = sq;
-            col_norm_s[i] = root;
-          }
-        });
+  util::default_pool().parallel_for(shards, [&](std::size_t shard_begin,
+                                                std::size_t shard_end) {
+    for (std::size_t s = shard_begin; s < shard_end; ++s) {
+      const std::size_t tile_lo = s * tiles_total / shards;
+      const std::size_t tile_hi = (s + 1) * tiles_total / shards;
+      std::vector<Entry>& entries = shard_entries[s];
+      std::vector<std::uint32_t>& heap_size = shard_sizes[s];
+      entries.resize(m * (k + 1));
+      heap_size.assign(m, 0);
 
-    util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      std::vector<float> pack(stride * dims);
+      std::vector<float> lane(kLinkGroupCols);
+      std::vector<double> col_norm(tile);
+      const std::size_t group_cap = stride / kLinkGroupCols;
+      std::vector<double> group_lo(group_cap);
+      std::vector<double> group_hi(group_cap);
       std::uint64_t pruned = 0;
       std::uint64_t exact = 0;
-      for (std::size_t r = begin; r < end; ++r) {
-        const float* a = sec.data() + r * dims;
-        const double na = row_norm[r];
-        const double na_s = row_norm_s[r];
-        Entry* h = entries.data() + r * (k + 1);
-        std::uint32_t sz = heap_size[r];
-        for (std::size_t c = tile_begin; c < tile_end; ++c) {
-          const float* b = wld.data() + c * dims;
-          if (sz == k) {
-            const double fsq =
-                static_cast<double>(h[0].d) * static_cast<double>(h[0].d);
-            const double nb = col_norm[c - tile_begin];
-            const double nb_s = col_norm_s[c - tile_begin];
-            // Level 1: Cauchy-Schwarz lower bound (||a|| - ||b||)^2,
-            // O(1) per cell. The significance guard keeps catastrophic
-            // cancellation in na_s - nb_s from producing an
-            // overconfident bound.
-            const double bd = na_s > nb_s ? na_s - nb_s : nb_s - na_s;
-            if (bd > (na_s + nb_s) * 1e-9 && bd * bd * sqf > fsq) {
-              ++pruned;
-              continue;
-            }
-            // Level 2: the decomposed squared distance
-            // ||a||^2 + ||b||^2 - 2 a.b in double precision.
-            const double d2 = na + nb - 2.0 * dot(a, b, dims);
-            if (d2 > (na + nb) * 1e-9 && d2 * sqf > fsq) {
-              ++pruned;
-              continue;
-            }
-          }
-          // Survivor: the exact float kernel the dense matrix uses.
-          ++exact;
-          const Entry e{l2_cell(a, b, dims), static_cast<std::uint32_t>(c)};
-          if (sz < k) {
-            h[sz++] = e;
-            std::push_heap(h, h + sz, lex_less);
-          } else if (lex_less(e, h[0])) {
-            std::pop_heap(h, h + k, lex_less);
-            h[k - 1] = e;
-            std::push_heap(h, h + k, lex_less);
-          }
-        }
-        heap_size[r] = sz;
-      }
-      pruned_total.fetch_add(pruned, std::memory_order_relaxed);
-      exact_total.fetch_add(exact, std::memory_order_relaxed);
-    });
-  }
 
-  // Sort each heap ascending: the greedy consumes candidates in
-  // (distance, column) order, exactly the dense re-scan's preference.
-  util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      Entry* h = entries.data() + r * (k + 1);
-      std::sort(h, h + heap_size[r], lex_less);
+      for (std::size_t t = tile_lo; t < tile_hi; ++t) {
+        const std::size_t col0 = t * tile;
+        const std::size_t width = std::min(col0 + tile, n) - col0;
+        pack_cols_dim_major(wld.data() + col0 * dims, width, dims, stride,
+                            pack.data());
+        for (std::size_t i = 0; i < width; ++i) {
+          col_norm[i] = row_norm_s(wld.data() + (col0 + i) * dims, dims);
+        }
+        const std::size_t groups = (width + kLinkGroupCols - 1) / kLinkGroupCols;
+        for (std::size_t g = 0; g < groups; ++g) {
+          const std::size_t lo = g * kLinkGroupCols;
+          const std::size_t hi = std::min(lo + kLinkGroupCols, width);
+          double mn = col_norm[lo];
+          double mx = col_norm[lo];
+          for (std::size_t i = lo + 1; i < hi; ++i) {
+            mn = std::min(mn, col_norm[i]);
+            mx = std::max(mx, col_norm[i]);
+          }
+          group_lo[g] = mn;
+          group_hi[g] = mx;
+        }
+
+        for (std::size_t r = 0; r < m; ++r) {
+          const float* a = sec.data() + r * dims;
+          const double na_s = row_norm[r];
+          Entry* h = entries.data() + r * (k + 1);
+          std::uint32_t sz = heap_size[r];
+          for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t gc0 = g * kLinkGroupCols;
+            const std::size_t gw = std::min(kLinkGroupCols, width - gc0);
+            if (sz == k) {
+              // Hoisted Cauchy-Schwarz screen, one decision per group:
+              // ||a-b||^2 >= (||a|| - ||b||)^2, and the gap from ||a||
+              // to the group's norm range lower-bounds every column's
+              // gap. The significance guard keeps catastrophic
+              // cancellation from producing an overconfident bound;
+              // both conditions imply the per-column originals, so
+              // nothing a serial per-cell screen would keep is lost.
+              const double fsq = static_cast<double>(h[0].d) *
+                                 static_cast<double>(h[0].d);
+              const double bd = na_s < group_lo[g] ? group_lo[g] - na_s
+                                : na_s > group_hi[g] ? na_s - group_hi[g]
+                                                     : 0.0;
+              if (bd > (na_s + group_hi[g]) * 1e-9 && bd * bd * sqf > fsq) {
+                pruned += gw;
+                continue;
+              }
+            }
+            // Exact blocked kernel over the whole group: lane i holds
+            // the float squared distance with scalar-identical
+            // accumulation (padded lanes compute garbage, never read).
+            exact += gw;
+            sq_cell_block(a, pack.data() + gc0, dims, kLinkGroupCols, stride,
+                          lane.data());
+            if (sz == k) {
+              // Vectorized group rejection: the scalar loop below skips
+              // any lane with sq > front^2 * (1 + 2^-21), so when every
+              // lane clears that bar the whole group is a no-op and the
+              // branchy per-lane pass can be skipped. The bar is
+              // rounded *up* to float (nextafter) so a lane is never
+              // skipped here that the scalar screen would scan; the
+              // heap front only shrinks within a group, so the bar
+              // taken before the scan is the loosest one. Padded lanes
+              // can only force the scan, never suppress it.
+              const double fsq = static_cast<double>(h[0].d) *
+                                 static_cast<double>(h[0].d);
+              if (fsq > 1e-60) {
+                const float cut = std::nextafterf(
+                    static_cast<float>(fsq * (1.0 + 0x1p-21)), HUGE_VALF);
+                int any = 0;
+                for (std::size_t i = 0; i < kLinkGroupCols; ++i) {
+                  any |= lane[i] <= cut;
+                }
+                if (!any) continue;
+              }
+            }
+            for (std::size_t i = 0; i < gw; ++i) {
+              const float sq = lane[i];
+              if (sz == k) {
+                // Cheap pre-sqrt rejection: if sq exceeds the front's
+                // square by more than a float ulp's worth, the rounded
+                // root is strictly above the front and can't enter.
+                // (Guard excludes denormal fronts where the relative
+                // margin stops covering one ulp.)
+                const double fsq = static_cast<double>(h[0].d) *
+                                   static_cast<double>(h[0].d);
+                if (fsq > 1e-60 &&
+                    static_cast<double>(sq) > fsq * (1.0 + 0x1p-21)) {
+                  continue;
+                }
+              }
+              const Entry e{std::sqrt(sq),
+                            static_cast<std::uint32_t>(col0 + gc0 + i)};
+              if (sz < k) {
+                h[sz++] = e;
+                std::push_heap(h, h + sz, lex_less);
+              } else if (lex_less(e, h[0])) {
+                std::pop_heap(h, h + k, lex_less);
+                h[k - 1] = e;
+                std::push_heap(h, h + k, lex_less);
+              }
+            }
+          }
+          heap_size[r] = sz;
+        }
+        tile_progress.tick();
+      }
+      tally[s].pruned = pruned;
+      tally[s].exact = exact;
+      tally[s].tiles = tile_hi - tile_lo;
     }
   });
+
+  // ---- Deterministic merge: per row, the k lexicographically smallest
+  // of the shard top-k union. Columns are unique so (d, col) is a total
+  // order — the merged list is the same for every shard count, and it
+  // equals the serial top-k because an entry among the k global minima
+  // is always inside its own shard's top-k.
+  std::vector<Entry> entries(m * (k + 1));
+  std::vector<std::uint32_t> heap_size(m, 0);
+  util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
+    std::vector<Entry> scratch;
+    scratch.reserve(shards * k);
+    for (std::size_t r = begin; r < end; ++r) {
+      scratch.clear();
+      for (std::size_t s = 0; s < shards; ++s) {
+        const Entry* h = shard_entries[s].data() + r * (k + 1);
+        scratch.insert(scratch.end(), h, h + shard_sizes[s][r]);
+      }
+      std::sort(scratch.begin(), scratch.end(), lex_less);
+      const std::size_t keep = std::min<std::size_t>(k, scratch.size());
+      std::copy_n(scratch.begin(), keep, entries.begin() + r * (k + 1));
+      heap_size[r] = static_cast<std::uint32_t>(keep);
+    }
+  });
+
+  std::uint64_t pruned_total = 0;
+  std::uint64_t exact_total = 0;
+  std::uint64_t tiles = 0;
+  for (const ShardTally& t : tally) {
+    pruned_total += t.pruned;
+    exact_total += t.exact;
+    tiles += t.tiles;
+  }
 
   // ---- Pass 2: heap-driven greedy selection (Algorithm 1 lines 5-17).
   // The dense loop's argmin over unassigned rows uses each row's
@@ -255,14 +368,37 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
       ++topk_hits;
     } else {
       // Heap exhausted by earlier links: tracked full-row re-scan,
-      // identical to the dense path's collision handling.
+      // identical to the dense path's collision handling. Fixed column
+      // ranges scan in parallel, each with the serial loop's first-win
+      // `<`; merging the range minima in range order again keeps the
+      // lowest column among the global minima, so the parallel re-scan
+      // is deterministic and matches the serial one.
       ++fallbacks;
       const float* a = sec.data() + r * dims;
-      double best = std::numeric_limits<double>::infinity();
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+      std::vector<std::pair<double, std::size_t>> range_best(
+          shards, {kInf, 0});
+      util::default_pool().parallel_for(
+          shards, [&](std::size_t range_begin, std::size_t range_end) {
+            for (std::size_t s = range_begin; s < range_end; ++s) {
+              const std::size_t c_lo = s * n / shards;
+              const std::size_t c_hi = (s + 1) * n / shards;
+              double best = kInf;
+              std::size_t best_col = 0;
+              for (std::size_t c = c_lo; c < c_hi; ++c) {
+                if (used[c]) continue;
+                const double d = l2_cell(a, wld.data() + c * dims, dims);
+                if (d < best) {
+                  best = d;
+                  best_col = c;
+                }
+              }
+              range_best[s] = {best, best_col};
+            }
+          });
+      double best = kInf;
       std::size_t best_col = 0;
-      for (std::size_t c = 0; c < n; ++c) {
-        if (used[c]) continue;
-        const double d = l2_cell(a, wld.data() + c * dims, dims);
+      for (const auto& [d, c] : range_best) {
         if (d < best) {
           best = d;
           best_col = c;
@@ -277,21 +413,21 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
   }
 
   PATCHDB_COUNTER_ADD("distance.tiles", tiles);
-  PATCHDB_COUNTER_ADD("distance.cells",
-                      exact_total.load(std::memory_order_relaxed));
+  PATCHDB_COUNTER_ADD("distance.cells", exact_total);
+  PATCHDB_COUNTER_ADD("distance.flops", exact_total * (3 * dims + 1));
   PATCHDB_COUNTER_ADD("nearest_link.topk_hits", topk_hits);
   PATCHDB_COUNTER_ADD("nearest_link.fallback_rescans", fallbacks);
-  PATCHDB_COUNTER_ADD("nearest_link.streaming.pruned_cells",
-                      pruned_total.load(std::memory_order_relaxed));
+  PATCHDB_COUNTER_ADD("nearest_link.streaming.pruned_cells", pruned_total);
 
   if (stats != nullptr) {
     stats->tiles = tiles;
-    stats->pruned_cells = pruned_total.load(std::memory_order_relaxed);
-    stats->exact_cells = exact_total.load(std::memory_order_relaxed);
+    stats->pruned_cells = pruned_total;
+    stats->exact_cells = exact_total;
     stats->topk_hits = topk_hits;
     stats->fallback_rescans = fallbacks;
     stats->top_k = k;
     stats->tile_cols = tile;
+    stats->threads = shards;
     stats->working_set_bytes = rc.working_set_bytes;
   }
   return result;

@@ -5,28 +5,37 @@
 // 4076 x 200K shape) and the greedy link re-scans full O(N) rows on
 // candidate collisions. This engine instead
 //
-//   1. streams the wild set in cache-sized column tiles through a
-//      norm-decomposed kernel: with per-row and per-tile squared norms
-//      precomputed, ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, so a cell
-//      can be screened by the O(1) Cauchy-Schwarz lower bound
-//      (||a|| - ||b||)^2 and then by the decomposed dot product before
-//      the exact kernel ever runs;
-//   2. keeps a bounded top-k candidate heap per security patch, filled
-//      during the single streaming pass, so the greedy assignment's
-//      collision handling (Algorithm 1 lines 10-15) consults a k-entry
-//      sorted list instead of an O(N) row; and
-//   3. drives the greedy selection with a priority queue keyed on each
+//   1. shards the wild set across the thread pool: each worker owns a
+//      contiguous range of column tiles and fills *private* per-row
+//      top-k candidate heaps with private prune/flop counters, so the
+//      pass-1 stream runs with no shared mutable state (no atomics, no
+//      locks on the hot path);
+//   2. evaluates each tile through the blocked SIMD kernel
+//      (core/link_kernel.h): columns are packed dim-major in groups of
+//      kLinkGroupCols so the inner distance loop vectorizes, while the
+//      Cauchy-Schwarz norm screen is hoisted to one decision per group
+//      using precomputed per-group norm bounds;
+//   3. merges the worker heaps per row after the stream — sort the
+//      union under the strict (distance, column) order and keep the k
+//      smallest. The order is total (columns are unique), so the merge
+//      is deterministic for every shard count and equals the top-k a
+//      serial scan produces; and
+//   4. drives the greedy selection with a priority queue keyed on each
 //      row's cached minimum instead of the dense path's O(M^2) linear
 //      argmin sweep. When a row's heap is fully consumed by earlier
 //      links the engine falls back to a tracked full-row re-scan
-//      (counter `nearest_link.fallback_rescans`).
+//      (counter `nearest_link.fallback_rescans`), itself parallelized
+//      over fixed column ranges with a deterministic in-order merge.
 //
 // Results are bit-identical to
 //   nearest_link_search(distance_matrix(security, wild, weights))
-// on equal inputs: the surviving cells run the exact same float kernel
-// (core::l2_cell), ties break toward the lowest column index, and the
-// screening bounds carry conservative error margins so no cell that
-// could enter a heap is ever pruned.
+// on equal inputs: every computed cell runs the exact arithmetic of the
+// scalar kernel (core::l2_cell) lane-parallel (see link_kernel.h for
+// why vectorizing across columns preserves each lane bit-for-bit), ties
+// break toward the lowest column index, and the screening bounds carry
+// conservative error margins so no cell that could enter a heap is ever
+// pruned. Pruning and shard counts therefore affect speed and counters,
+// never the LinkResult.
 #pragma once
 
 #include <cstddef>
@@ -48,39 +57,53 @@ struct StreamingLinkConfig {
   /// keeps a tile's scaled features inside a typical L2 slice.
   std::size_t tile_cols = 2048;
 
-  /// Optional cap (bytes) on the engine-owned working set: the
-  /// candidate heaps plus the per-tile norm buffers. 0 = uncapped.
-  /// When the cap binds, top_k and tile_cols shrink (floors: 1 and 64)
-  /// rather than allocating past it.
+  /// Pass-1 worker shards. 0 (the default) uses the default pool's
+  /// worker count (`--threads` / PATCHDB_THREADS / hardware
+  /// concurrency). The LinkResult is identical for every value; only
+  /// wall-clock and the private-state footprint change.
+  std::size_t threads = 0;
+
+  /// Optional cap (bytes) on the engine-owned working set: the shard
+  /// heaps, merged heaps, dim-major pack buffers, and norm-bound
+  /// tables. 0 = uncapped. When the cap binds, tile_cols, then top_k,
+  /// then threads shrink (floors: 64 / 1 / 1) rather than allocating
+  /// past it.
   std::size_t memory_cap_bytes = 0;
 
   struct Resolved {
     std::size_t top_k = 0;
     std::size_t tile_cols = 0;
-    /// Engine-owned bytes under the cap: heaps, cursors, norms.
+    std::size_t threads = 0;
+    /// Engine-owned bytes under the cap: heaps, cursors, norms, packs.
     std::size_t working_set_bytes = 0;
   };
-  /// The effective knobs for an M x N problem after clamping to the
-  /// matrix shape and the memory cap.
-  Resolved resolve(std::size_t rows, std::size_t cols) const;
+  /// The effective knobs for an M x N problem over `dims` feature
+  /// dimensions, after clamping to the matrix shape, the pool size,
+  /// and the memory cap.
+  Resolved resolve(std::size_t rows, std::size_t cols,
+                   std::size_t dims) const;
 };
 
 /// Per-run introspection (mirrors the obs counters, usable without a
-/// registry installed).
+/// registry installed). Prune/exact counts depend on the shard count
+/// and group screening, so they are stable for a fixed configuration
+/// but not comparable across different `threads` values — unlike the
+/// LinkResult, which never varies.
 struct StreamingLinkStats {
   std::size_t tiles = 0;             // streaming tiles processed
-  std::size_t pruned_cells = 0;      // rejected by a screening bound
-  std::size_t exact_cells = 0;       // ran the exact float kernel
+  std::size_t pruned_cells = 0;      // skipped by a group norm screen
+  std::size_t exact_cells = 0;       // ran the blocked exact kernel
   std::size_t topk_hits = 0;         // links served from a row's heap
   std::size_t fallback_rescans = 0;  // links that re-scanned a full row
   std::size_t top_k = 0;             // effective k after the cap
   std::size_t tile_cols = 0;         // effective tile width
+  std::size_t threads = 0;           // effective pass-1 shard count
   std::size_t working_set_bytes = 0; // engine-owned footprint
 };
 
 /// Algorithm 1 end to end — bit-identical LinkResult to the dense
 /// nearest_link_search over distance_matrix(security, wild, weights),
-/// O(M·k + N·d) memory instead of O(M·N).
+/// O(M·k·T + N·d) memory instead of O(M·N).
 LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
                                   const feature::FeatureMatrix& wild,
                                   std::span<const double> weights,

@@ -96,6 +96,20 @@ std::vector<DiffResult> diff_reports(const RunReport& baseline,
       continue;
     }
 
+    if (rule.kind == DiffRule::Kind::kMin) {
+      if (!r.candidate) {
+        r.ok = false;
+        r.message = "FAIL " + rule.metric + " missing from candidate";
+      } else {
+        r.ok = *r.candidate >= rule.required_value;
+        r.message = std::string(r.ok ? "OK   " : "FAIL ") + rule.metric +
+                    " = " + format_value(*r.candidate) + " (floor " +
+                    format_value(rule.required_value) + ")";
+      }
+      results.push_back(std::move(r));
+      continue;
+    }
+
     if (!r.baseline || !r.candidate) {
       r.ok = false;
       r.message = "FAIL " + rule.metric + " missing from " +
@@ -179,6 +193,23 @@ bool parse_require_spec(std::string_view spec, DiffRule& out,
     return false;
   }
   out.metric = std::string(spec.substr(0, eq));
+  out.has_required_value = true;
+  return true;
+}
+
+bool parse_min_spec(std::string_view spec, DiffRule& out, std::string& error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    error = "expected metric:VALUE, got \"" + std::string(spec) + "\"";
+    return false;
+  }
+  if (!parse_number(spec.substr(colon + 1), out.required_value)) {
+    error = "bad floor in \"" + std::string(spec) + "\" (want a number)";
+    return false;
+  }
+  out.kind = DiffRule::Kind::kMin;
+  out.metric = std::string(spec.substr(0, colon));
   out.has_required_value = true;
   return true;
 }

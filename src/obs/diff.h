@@ -24,6 +24,9 @@ struct DiffRule {
     kMaxDecrease,  // candidate may fall below baseline by at most threshold_pct
     kRequire,      // metric must exist in the candidate (and match
                    // required_value when one is given)
+    kMin,          // metric must exist in the candidate and be >=
+                   // required_value (absolute floor; the baseline is
+                   // not consulted, so the rule is machine-independent)
   };
 
   Kind kind = Kind::kMaxIncrease;
@@ -62,5 +65,7 @@ bool parse_threshold_spec(std::string_view spec, DiffRule::Kind kind,
                           DiffRule& out, std::string& error);
 bool parse_require_spec(std::string_view spec, DiffRule& out,
                         std::string& error);
+/// Parse "metric:VALUE" for --min (absolute candidate floor).
+bool parse_min_spec(std::string_view spec, DiffRule& out, std::string& error);
 
 }  // namespace patchdb::obs

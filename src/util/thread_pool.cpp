@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <utility>
 
 namespace patchdb::util {
@@ -12,6 +15,43 @@ namespace {
 // True while the current thread is executing a pool task; used to run
 // nested parallel_for bodies inline instead of deadlocking on wait_idle.
 thread_local bool t_on_pool_worker = false;
+
+constexpr std::size_t kMaxDefaultPoolThreads = 1024;
+
+// Pre-creation override for default_pool() (configure_default_pool).
+std::mutex g_default_pool_mutex;
+std::size_t g_default_pool_override = 0;  // 0 = no override
+bool g_default_pool_created = false;
+
+/// Strict parse of PATCHDB_THREADS: a complete decimal integer in
+/// [1, 1024]. Anything else (letters, trailing junk, 0, negatives,
+/// overflow) is a hard configuration error: exit 2 with a message
+/// rather than silently benching on the wrong pool size.
+std::size_t threads_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup
+  const char* raw = std::getenv("PATCHDB_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || raw[0] == '-' || raw[0] == '+' ||
+      value < 1 || value > kMaxDefaultPoolThreads) {
+    std::fprintf(stderr,
+                 "patchdb: PATCHDB_THREADS expects an integer in [1, %zu], "
+                 "got \"%s\"\n",
+                 kMaxDefaultPoolThreads, raw);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Resolution order: configure_default_pool > PATCHDB_THREADS >
+/// hardware_concurrency. Caller holds g_default_pool_mutex.
+std::size_t resolve_default_threads_locked() {
+  if (g_default_pool_override > 0) return g_default_pool_override;
+  const std::size_t env = threads_from_env();
+  if (env > 0) return env;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -24,8 +64,9 @@ ThreadPool::ThreadPool(const Options& options)
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
+  worker_busy_ms_.assign(threads, 0.0);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -52,6 +93,11 @@ std::size_t ThreadPool::in_flight() const {
 std::size_t ThreadPool::running() const {
   std::lock_guard lock(mutex_);
   return in_flight_ > tasks_.size() ? in_flight_ - tasks_.size() : 0;
+}
+
+std::vector<double> ThreadPool::worker_busy_ms() const {
+  std::lock_guard lock(mutex_);
+  return worker_busy_ms_;
 }
 
 std::size_t ThreadPool::task_errors() const {
@@ -144,7 +190,7 @@ void ThreadPool::parallel_for(
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   while (true) {
     std::function<void()> task;
     std::shared_ptr<const Observer> observer;
@@ -160,9 +206,7 @@ void ThreadPool::worker_loop() {
     }
     if (max_pending_ != 0) space_free_.notify_one();
     if (observer && observer->queue_depth) observer->queue_depth(depth);
-    const bool timed = observer && observer->task_ms;
-    const auto start = timed ? std::chrono::steady_clock::now()
-                             : std::chrono::steady_clock::time_point{};
+    const auto start = std::chrono::steady_clock::now();
     t_on_pool_worker = true;
     // A throwing task must not escape into the thread body (that would
     // std::terminate the process) or skip the in_flight_ bookkeeping
@@ -177,13 +221,13 @@ void ThreadPool::worker_loop() {
       if (!task_error_) task_error_ = std::current_exception();
     }
     t_on_pool_worker = false;
-    if (timed) {
-      observer->task_ms(std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - start)
-                            .count());
-    }
+    const double task_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (observer && observer->task_ms) observer->task_ms(task_ms);
     {
       std::lock_guard lock(mutex_);
+      worker_busy_ms_[worker_index] += task_ms;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -191,8 +235,37 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& default_pool() {
-  static ThreadPool pool;
+  // The creation flag is flipped under the same mutex the override
+  // uses so configure_default_pool can reliably reject a too-late call.
+  static ThreadPool pool([] {
+    std::lock_guard lock(g_default_pool_mutex);
+    g_default_pool_created = true;
+    return resolve_default_threads_locked();
+  }());
   return pool;
+}
+
+void configure_default_pool(std::size_t threads) {
+  if (threads < 1 || threads > kMaxDefaultPoolThreads) {
+    throw std::invalid_argument(
+        "configure_default_pool: threads must be in [1, 1024]");
+  }
+  std::lock_guard lock(g_default_pool_mutex);
+  if (g_default_pool_created) {
+    // An identical re-request is harmless (idempotent callers); a
+    // different size can no longer take effect and must fail loudly.
+    if (default_pool().size() == threads) return;
+    throw std::logic_error(
+        "configure_default_pool: default pool already created with " +
+        std::to_string(default_pool().size()) + " threads");
+  }
+  g_default_pool_override = threads;
+}
+
+std::size_t default_pool_threads() {
+  std::lock_guard lock(g_default_pool_mutex);
+  if (g_default_pool_created) return default_pool().size();
+  return resolve_default_threads_locked();
 }
 
 }  // namespace patchdb::util

@@ -72,6 +72,13 @@ class ThreadPool {
   /// under one lock so the two can't tear).
   std::size_t running() const;
 
+  /// Cumulative wall time each worker has spent executing tasks, in
+  /// milliseconds, indexed by worker. Always maintained (two clock
+  /// reads per task); the per-worker histogram the bench sessions
+  /// record is derived from this, so a single-threaded pool pathology
+  /// shows up as one busy worker and N-1 zeros in the artifact.
+  std::vector<double> worker_busy_ms() const;
+
   /// Install (or, with a default-constructed Observer, clear) the metric
   /// hooks. Thread-safe; tasks already running may still report to the
   /// previous observer.
@@ -121,12 +128,13 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   /// Shared enqueue path. `blocking` selects the full-queue behavior:
   /// wait (true) vs report failure (false).
   bool enqueue(std::function<void()>&& task, bool blocking);
 
   std::vector<std::thread> workers_;
+  std::vector<double> worker_busy_ms_;  // guarded by mutex_
   std::queue<std::function<void()>> tasks_;
   std::size_t max_pending_ = 0;
   Overflow overflow_ = Overflow::kBlock;
@@ -143,7 +151,26 @@ class ThreadPool {
   std::shared_ptr<const Observer> observer_;
 };
 
-/// Process-wide default pool, sized to the machine.
+/// Process-wide default pool. Sized, in priority order, from
+/// configure_default_pool(), the PATCHDB_THREADS environment variable,
+/// or hardware_concurrency. PATCHDB_THREADS parsing is strict: anything
+/// other than a complete decimal integer in [1, 1024] aborts the
+/// process with a diagnostic on first pool use — a typo'd override must
+/// not silently fall back to a serial (or default) pool and invalidate
+/// a benchmark run.
 ThreadPool& default_pool();
+
+/// Request a worker count for default_pool() before its first use
+/// (e.g. from `patchdb build --threads N`). Takes precedence over
+/// PATCHDB_THREADS. Throws std::invalid_argument for threads outside
+/// [1, 1024] and std::logic_error when the default pool was already
+/// constructed with a different size — a late override would silently
+/// not apply, which is exactly the single-threaded-bench pathology this
+/// knob exists to prevent.
+void configure_default_pool(std::size_t threads);
+
+/// The worker count default_pool() has, or would be created with
+/// (override > PATCHDB_THREADS > hardware_concurrency).
+std::size_t default_pool_threads();
 
 }  // namespace patchdb::util

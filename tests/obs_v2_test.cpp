@@ -557,6 +557,32 @@ TEST(ObsDiff, RequireAndMissingMetricSemantics) {
   EXPECT_FALSE(results[2].ok);  // absent on both sides still fails loudly
 }
 
+TEST(ObsDiff, MinRuleIsAnAbsoluteCandidateFloor) {
+  // --min never consults the baseline: the floor is machine-independent
+  // (e.g. pool.threads >= 2, speedup >= 2 in CI), so a stale or absent
+  // baseline metric cannot mask it.
+  obs::RunReport baseline = diff_fixture(100.0, 50.0, 1);
+  obs::RunReport candidate = diff_fixture(100.0, 50.0, 1);
+  candidate.metrics.gauges["pool.threads"] = 4.0;
+
+  obs::DiffRule floor_ok;
+  floor_ok.kind = obs::DiffRule::Kind::kMin;
+  floor_ok.metric = "pool.threads";
+  floor_ok.required_value = 2.0;
+  obs::DiffRule floor_bad = floor_ok;
+  floor_bad.required_value = 8.0;
+  obs::DiffRule floor_missing = floor_ok;
+  floor_missing.metric = "ghost.metric";
+
+  const std::vector<obs::DiffResult> results = obs::diff_reports(
+      baseline, candidate, {floor_ok, floor_bad, floor_missing});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);   // 4 >= 2
+  EXPECT_FALSE(results[1].ok);  // 4 < 8
+  EXPECT_FALSE(results[2].ok);  // missing from candidate fails loudly
+  EXPECT_NE(results[1].message.find("floor"), std::string::npos);
+}
+
 TEST(ObsDiff, ZeroBaselineOnlyPassesWhenCandidateIsZeroToo) {
   obs::RunReport baseline = diff_fixture(100.0, 50.0, 1);
   baseline.metrics.gauges["zero.gauge"] = 0.0;
@@ -601,6 +627,17 @@ TEST(ObsDiff, SpecParsing) {
   EXPECT_FALSE(rule.has_required_value);
   EXPECT_FALSE(obs::parse_require_spec("", rule, error));
   EXPECT_FALSE(obs::parse_require_spec("metric=abc", rule, error));
+
+  ASSERT_TRUE(obs::parse_min_spec("pool.threads:2", rule, error));
+  EXPECT_EQ(rule.kind, obs::DiffRule::Kind::kMin);
+  EXPECT_EQ(rule.metric, "pool.threads");
+  EXPECT_EQ(rule.required_value, 2.0);
+  ASSERT_TRUE(obs::parse_min_spec("bench.speedup:2.5", rule, error));
+  EXPECT_EQ(rule.required_value, 2.5);
+  EXPECT_FALSE(obs::parse_min_spec("pool.threads", rule, error));
+  EXPECT_FALSE(obs::parse_min_spec("pool.threads:", rule, error));
+  EXPECT_FALSE(obs::parse_min_spec(":2", rule, error));
+  EXPECT_FALSE(obs::parse_min_spec("pool.threads:2x", rule, error));
 }
 
 }  // namespace

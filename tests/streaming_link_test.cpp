@@ -14,6 +14,7 @@
 
 #include "core/augment.h"
 #include "core/distance.h"
+#include "core/link_kernel.h"
 #include "core/nearest_link.h"
 #include "core/streaming_link.h"
 #include "corpus/world.h"
@@ -156,9 +157,11 @@ TEST(StreamingLink, MemoryCapShrinksKnobsButNotResults) {
   config.top_k = 24;
   config.tile_cols = 4096;
 
-  const auto uncapped = config.resolve(m, n);
-  config.memory_cap_bytes = 8 * 1024;
-  const auto capped = config.resolve(m, n);
+  // The floor working set includes one dim-major pack buffer per shard
+  // (64 cols x 60 dims x 4 bytes), so the cap must leave room for that.
+  const auto uncapped = config.resolve(m, n, feature::kFeatureCount);
+  config.memory_cap_bytes = 32 * 1024;
+  const auto capped = config.resolve(m, n, feature::kFeatureCount);
 
   EXPECT_LE(capped.working_set_bytes, config.memory_cap_bytes);
   EXPECT_LT(capped.working_set_bytes, uncapped.working_set_bytes);
@@ -198,6 +201,94 @@ TEST(StreamingLink, RejectsBadShapes) {
   const auto pool = random_features(20, 3);
   EXPECT_THROW(core::streaming_nearest_link(sec, pool, short_weights),
                std::invalid_argument);
+}
+
+TEST(StreamingLinkKernel, BlockKernelMatchesScalarCellBitwise) {
+  // The vectorizable block kernel must reproduce the scalar l2_cell
+  // bit-for-bit in every lane, across full and partial group widths
+  // and strides wider than the width (padded-tile layout).
+  util::Rng rng(515);
+  const std::size_t dims = feature::kFeatureCount;
+  for (std::size_t width : {1UL, 7UL, core::kLinkGroupCols}) {
+    const std::size_t stride = core::kLinkGroupCols;
+    std::vector<float> a(dims);
+    std::vector<float> cols(width * dims);
+    for (float& v : a) v = static_cast<float>(rng.uniform(-3, 3));
+    for (float& v : cols) v = static_cast<float>(rng.uniform(-3, 3));
+
+    std::vector<float> packed(stride * dims);
+    core::pack_cols_dim_major(cols.data(), width, dims, stride, packed.data());
+    std::vector<float> lane(stride);
+    core::l2_cell_block(a.data(), packed.data(), dims, width, stride,
+                        lane.data());
+    for (std::size_t c = 0; c < width; ++c) {
+      EXPECT_EQ(lane[c], core::l2_cell(a.data(), cols.data() + c * dims, dims))
+          << "width=" << width << " lane=" << c;
+    }
+  }
+}
+
+TEST(StreamingLinkParallel, DeterministicAcrossThreadsTilesAndCaps) {
+  // The tentpole contract: the worker-sharded pass 1 must produce the
+  // same LinkResult as the dense path for every shard count x tile
+  // width x memory cap, bitwise. Only counters may vary.
+  const std::size_t m = 30;
+  const std::size_t n = 700;
+  const auto sec = random_features(m, 101);
+  const auto wild = random_features(n, 102);
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  const core::LinkResult dense = dense_link(sec, wild, w);
+
+  for (std::size_t threads : {1UL, 2UL, 8UL}) {
+    for (std::size_t tile : {64UL, 257UL, 4096UL}) {
+      for (std::size_t cap : {0UL, 96UL * 1024UL}) {
+        core::StreamingLinkConfig config;
+        config.top_k = 8;
+        config.tile_cols = tile;
+        config.threads = threads;
+        config.memory_cap_bytes = cap;
+        core::StreamingLinkStats stats;
+        const core::LinkResult stream =
+            core::streaming_nearest_link(sec, wild, w, config, &stats);
+        EXPECT_EQ(dense.candidate, stream.candidate)
+            << "threads=" << threads << " tile=" << tile << " cap=" << cap;
+        EXPECT_EQ(dense.total_distance, stream.total_distance)
+            << "threads=" << threads << " tile=" << tile << " cap=" << cap;
+        EXPECT_GE(stats.threads, 1u);
+        EXPECT_LE(stats.threads, threads);
+        if (cap > 0) {
+          EXPECT_LE(stats.working_set_bytes, cap);
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingLinkParallel, FallbackRescanDeterministicAcrossThreads) {
+  // Identical security rows share one top-k list, so with a tiny k most
+  // rows exhaust their heap and take the parallel fallback re-scan;
+  // its range-merged minimum must match the dense collision handling
+  // for every shard count.
+  const auto one = random_features(1, 313);
+  feature::FeatureMatrix sec(12);
+  for (std::size_t i = 0; i < sec.rows(); ++i) sec.set_row(i, one[0]);
+  const auto wild = random_features(300, 314);
+  const std::vector<double> w = core::maxabs_weights(sec, wild);
+  const core::LinkResult dense = dense_link(sec, wild, w);
+
+  for (std::size_t threads : {1UL, 2UL, 8UL}) {
+    core::StreamingLinkConfig config;
+    config.top_k = 2;
+    config.tile_cols = 64;
+    config.threads = threads;
+    core::StreamingLinkStats stats;
+    const core::LinkResult stream =
+        core::streaming_nearest_link(sec, wild, w, config, &stats);
+    EXPECT_GT(stats.fallback_rescans, 0u) << "threads=" << threads;
+    EXPECT_EQ(dense.candidate, stream.candidate) << "threads=" << threads;
+    EXPECT_EQ(dense.total_distance, stream.total_distance)
+        << "threads=" << threads;
+  }
 }
 
 TEST(StreamingLink, AugmentationLoopStreamingMatchesDense) {

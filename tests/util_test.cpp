@@ -8,6 +8,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -629,6 +630,39 @@ TEST(ThreadPool, ShutdownDrainsPendingTasks) {
     }
   }  // destructor joins while most of the 64 tasks are still pending
   EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, WorkerBusyTimeAccumulatesPerWorker) {
+  util::ThreadPool pool(2);
+  ASSERT_EQ(pool.worker_busy_ms().size(), 2u);
+  for (double ms : pool.worker_busy_ms()) EXPECT_EQ(ms, 0.0);
+
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  pool.wait_idle();
+  const std::vector<double> busy = pool.worker_busy_ms();
+  ASSERT_EQ(busy.size(), 2u);
+  // 32 x 1ms split across 2 workers: total busy time must reflect the
+  // sleeps (this is what the bench per-worker histogram records, so a
+  // single-threaded pathology shows as one hot lane and zeros).
+  EXPECT_GE(busy[0] + busy[1], 16.0);
+  for (double ms : busy) EXPECT_GE(ms, 0.0);
+}
+
+TEST(ThreadPool, ConfigureDefaultPoolValidatesAndLocksAfterCreation) {
+  EXPECT_THROW(util::configure_default_pool(0), std::invalid_argument);
+  EXPECT_THROW(util::configure_default_pool(100000), std::invalid_argument);
+
+  // Force creation, then verify the introspection agrees and late
+  // reconfiguration is rejected loudly instead of silently ignored.
+  const std::size_t current = util::default_pool().size();
+  EXPECT_GE(current, 1u);
+  EXPECT_EQ(util::default_pool_threads(), current);
+  EXPECT_NO_THROW(util::configure_default_pool(current));  // idempotent
+  EXPECT_THROW(util::configure_default_pool(current + 1), std::logic_error);
 }
 
 // --------------------------------------------------------------- hash --

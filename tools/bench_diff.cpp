@@ -4,6 +4,7 @@
 //       [--max-increase METRIC:PCT]...
 //       [--max-decrease METRIC:PCT]...
 //       [--require METRIC[=VALUE]]...
+//       [--min METRIC:VALUE]...
 //
 // Compares the candidate (the run just produced) against the committed
 // baseline under per-metric threshold rules (see src/obs/diff.h for the
@@ -29,6 +30,7 @@ int usage() {
                "  --max-increase METRIC:PCT   candidate may rise at most PCT%%\n"
                "  --max-decrease METRIC:PCT   candidate may fall at most PCT%%\n"
                "  --require METRIC[=VALUE]    metric must exist (and match VALUE)\n"
+               "  --min METRIC:VALUE          candidate metric must be >= VALUE\n"
                "metrics: wall_ms, counters, gauges, HISTOGRAM@{p50,p95,mean,max,count}\n");
   return 2;
 }
@@ -45,7 +47,8 @@ int main(int argc, char** argv) {
     const bool max_increase = arg == "--max-increase";
     const bool max_decrease = arg == "--max-decrease";
     const bool require = arg == "--require";
-    if (max_increase || max_decrease || require) {
+    const bool min_rule = arg == "--min";
+    if (max_increase || max_decrease || require || min_rule) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "bench_diff: %s needs a value\n", argv[i]);
         return usage();
@@ -53,12 +56,13 @@ int main(int argc, char** argv) {
       DiffRule rule;
       std::string error;
       const bool ok =
-          require ? patchdb::obs::parse_require_spec(argv[i + 1], rule, error)
-                  : patchdb::obs::parse_threshold_spec(
-                        argv[i + 1],
-                        max_increase ? DiffRule::Kind::kMaxIncrease
-                                     : DiffRule::Kind::kMaxDecrease,
-                        rule, error);
+          require    ? patchdb::obs::parse_require_spec(argv[i + 1], rule, error)
+          : min_rule ? patchdb::obs::parse_min_spec(argv[i + 1], rule, error)
+                     : patchdb::obs::parse_threshold_spec(
+                           argv[i + 1],
+                           max_increase ? DiffRule::Kind::kMaxIncrease
+                                        : DiffRule::Kind::kMaxDecrease,
+                           rule, error);
       if (!ok) {
         std::fprintf(stderr, "bench_diff: %s: %s\n", argv[i], error.c_str());
         return usage();

@@ -1,12 +1,17 @@
 // patchdb — command-line front end for the PatchDB library.
 //
 //   patchdb build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]
-//           [--checkpoint-dir D] [--resume] [--trace-out FILE] [--progress]
+//           [--threads N] [--checkpoint-dir D] [--resume] [--trace-out FILE]
+//           [--progress]
 //       Build a simulated PatchDB (NVD crawl -> nearest-link augmentation
 //       -> synthesis) and export it to DIR in the release layout. With
 //       --checkpoint-dir the augmentation state is persisted after every
 //       round; --resume continues an interrupted build from the last
-//       checkpoint and produces a bit-identical export. --trace-out
+//       checkpoint and produces a bit-identical export. --threads N
+//       sizes the worker pool the streaming nearest-link engine shards
+//       across (wins over PATCHDB_THREADS; default: hardware
+//       concurrency). The export is bit-identical for every worker
+//       count. --trace-out
 //       writes a Chrome trace of the run (load in Perfetto); --progress
 //       prints heartbeat lines from the long loops.
 //   patchdb stats DIR
@@ -72,6 +77,7 @@
 #include "synth/variants.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 #include "cli_common.h"
 
@@ -85,6 +91,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: patchdb <command> [args]\n"
                "  build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
+               "        [--threads N]\n"
                "        [--streaming] [--link-topk K] [--link-tile N] [--link-mem-mb MB]\n"
                "        [--checkpoint-dir D] [--resume]\n"
                "        [--trace-out FILE] [--sample-ms N] [--progress] [--progress-ms N]\n"
@@ -97,6 +104,7 @@ int usage() {
                "  variants \"CONDITION\"\n"
                "  presence FILE.patch TARGET_SOURCE_FILE\n"
                "  metrics [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
+               "          [--threads N]\n"
                "          [--streaming] [--link-topk K] [--link-tile N]"
                " [--link-mem-mb MB]\n"
                "          [--metrics-out FILE] [--trace-out FILE] [--sample-ms N]\n"
@@ -114,6 +122,29 @@ std::string read_file_or_die(const std::string& path) {
   return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
 
+/// `--threads N`: size the default thread pool before anything touches
+/// it (the obs session attaches the pool, so this must run first in the
+/// command). Strict like every numeric flag — 0, junk, or a value after
+/// the pool already exists at a different size is a usage error. Wins
+/// over the PATCHDB_THREADS environment variable.
+bool apply_threads_flag(const Flags& flags) {
+  if (!flags.has("--threads")) return true;
+  const std::size_t threads = flags.value("--threads", std::size_t{0});
+  if (threads == 0) {
+    std::fprintf(stderr, "%s: --threads expects a positive integer\n",
+                 flags.tool().c_str());
+    return false;
+  }
+  try {
+    util::configure_default_pool(threads);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: --threads %zu: %s\n", flags.tool().c_str(),
+                 threads, e.what());
+    return false;
+  }
+  return true;
+}
+
 /// `--streaming [--link-topk K] [--link-tile N] [--link-mem-mb MB]`:
 /// route the augmentation rounds through the streaming tiled
 /// nearest-link engine (bit-identical results, bounded memory).
@@ -129,6 +160,7 @@ void apply_link_flags(const Flags& flags, core::BuildOptions& options) {
 }
 
 int cmd_build(const Flags& flags) {
+  if (!apply_threads_flag(flags)) return 2;
   const std::string out = flags.value("--out", std::string());
   if (out.empty()) {
     std::fprintf(stderr, "patchdb build: --out DIR is required\n");
@@ -363,6 +395,7 @@ int cmd_metrics(const Flags& flags) {
   if (flags.has("--validate")) {
     return cmd_metrics_validate(flags.value("--validate", std::string()));
   }
+  if (!apply_threads_flag(flags)) return 2;
   core::BuildOptions options;
   options.world.repos = 20;
   options.world.nvd_security = flags.value("--nvd", std::size_t{200});
