@@ -7,7 +7,9 @@
 // one machine in minutes; pass 5 to run at paper scale.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -37,9 +39,15 @@ inline double parse_scale(int argc, char** argv) {
   if (argc > 1 && argv[1][0] != '-') {
     // Full-consumption parse: "5x" or "1.5GB" is a typo'd run that
     // would otherwise silently bench the wrong scale — fail loudly.
+    // isfinite + ERANGE reject "inf" and overflowing exponents like
+    // "1e999" (strtod returns HUGE_VAL without an error flag in the
+    // return value alone), which would otherwise ask for an infinite
+    // world size.
     char* end = nullptr;
+    errno = 0;
     const double s = std::strtod(argv[1], &end);
-    if (end == argv[1] || *end != '\0' || !(s > 0.0)) {
+    if (end == argv[1] || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(s) || !(s > 0.0)) {
       std::fprintf(stderr,
                    "bench: bad scale \"%s\" (want a positive number, e.g. 1 "
                    "or 0.25 or 5)\n",
@@ -187,6 +195,25 @@ inline std::string parse_metrics_out(int argc, char** argv) {
   return parse_flag_value(argc, argv, "metrics-out");
 }
 
+/// Strict unsigned parse for small numeric flag values: full
+/// consumption, no sign, overflow rejected — exits 2 with the offending
+/// text, like parse_scale. (Raw strtoull would silently wrap overflow
+/// and accept "50x" as 50.)
+inline std::uint64_t parse_uint_flag(std::string_view flag,
+                                     const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || text[0] == '-' || end == text.c_str() || *end != '\0' ||
+      errno == ERANGE) {
+    std::fprintf(stderr, "bench: bad --%.*s value \"%s\" (want a non-negative "
+                 "integer)\n",
+                 static_cast<int>(flag.size()), flag.data(), text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
 /// Per-bench observability session. Construct it first thing in main():
 /// it parses the scale plus the shared obs flags, prints the bench
 /// header, and installs an obs::ObsSession so every instrumented
@@ -216,14 +243,13 @@ class Session {
     }
     const std::string progress_ms = parse_flag_value(argc, argv, "progress-ms");
     if (!progress_ms.empty()) {
-      obs::set_progress_interval_ms(
-          static_cast<std::uint64_t>(std::strtoull(progress_ms.c_str(), nullptr, 10)));
+      obs::set_progress_interval_ms(parse_uint_flag("progress-ms", progress_ms));
     }
     if (obs_.installed() && (!trace_out_.empty() || !metrics_out_.empty())) {
       obs::ResourceSampler::Options opt;
       const std::string sample_ms = parse_flag_value(argc, argv, "sample-ms");
-      opt.interval = std::chrono::milliseconds(
-          sample_ms.empty() ? 50 : std::strtoll(sample_ms.c_str(), nullptr, 10));
+      opt.interval = std::chrono::milliseconds(static_cast<long long>(
+          sample_ms.empty() ? 50 : parse_uint_flag("sample-ms", sample_ms)));
       sampler_ = std::make_unique<obs::ResourceSampler>(opt);
       obs_.attach_sampler(sampler_.get());
       sampler_->start();

@@ -17,7 +17,9 @@
 // SCALE multiplies the in-process dataset size (default 1.0).
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <cstdio>
 #include <mutex>
 #include <thread>
@@ -39,8 +41,12 @@ std::size_t flag_or(int argc, char** argv, std::string_view name,
   const std::string raw = bench::parse_flag_value(argc, argv, name);
   if (raw.empty()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
-  if (end == raw.c_str() || *end != '\0') {
+  // strtoull silently clamps overflow to ULLONG_MAX and accepts a
+  // leading '-' (negation modulo 2^64) — reject both.
+  if (end == raw.c_str() || *end != '\0' || raw[0] == '-' ||
+      errno == ERANGE) {
     std::fprintf(stderr, "micro_serve: bad --%s \"%s\"\n",
                  std::string(name).c_str(), raw.c_str());
     std::exit(2);

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -59,6 +61,7 @@ struct alignas(64) ShardTally {
   std::uint64_t pruned = 0;
   std::uint64_t exact = 0;
   std::uint64_t tiles = 0;
+  std::uint64_t screened = 0;  // cells skipped by index group masks
 };
 
 }  // namespace
@@ -73,8 +76,10 @@ StreamingLinkConfig::Resolved StreamingLinkConfig::resolve(
   r.threads = threads > 0 ? threads : util::default_pool_threads();
   r.threads = std::clamp<std::size_t>(r.threads, 1, 1024);
 
-  auto working_set = [rows, dims](std::size_t k, std::size_t tile,
-                                  std::size_t shards) {
+  const bool use_index = index.kind != IndexKind::kExact;
+  auto working_set = [rows, cols, dims, use_index](std::size_t k,
+                                                   std::size_t tile,
+                                                   std::size_t shards) {
     const std::size_t stride = round_up_groups(tile);
     const std::size_t groups = stride / kLinkGroupCols;
     // Shard-private heaps plus the merged array pass 2 consumes.
@@ -87,8 +92,21 @@ StreamingLinkConfig::Resolved StreamingLinkConfig::resolve(
                   + tile * sizeof(double)              // column norms
                   + groups * 2 * sizeof(double)        // group norm bounds
                   + kLinkGroupCols * sizeof(float));   // kernel output lanes
+    std::size_t index_bytes = 0;
+    if (use_index) {
+      // Per-row group-skip bitmasks, one slot per SIMD group of every
+      // tile, plus the pending bound and the verified-head slot. (The
+      // permuted pool copy is input-sized, like the scaled features the
+      // cap has never counted.)
+      const std::size_t tiles =
+          (std::max<std::size_t>(cols, 1) + tile - 1) / tile;
+      const std::size_t slots = tiles * groups;
+      const std::size_t words = (slots + 63) / 64;
+      index_bytes = rows * (words * sizeof(std::uint64_t) +
+                            2 * sizeof(double) + sizeof(std::uint32_t) + 1);
+    }
     return heap_bytes + size_bytes + cursor_bytes + row_norm_bytes +
-           shard_tile_bytes;
+           shard_tile_bytes + index_bytes;
   };
 
   if (memory_cap_bytes > 0) {
@@ -113,6 +131,17 @@ StreamingLinkConfig::Resolved StreamingLinkConfig::resolve(
       (std::max<std::size_t>(cols, 1) + r.tile_cols - 1) / r.tile_cols;
   r.threads = std::min(r.threads, tiles);
   r.working_set_bytes = working_set(r.top_k, r.tile_cols, r.threads);
+  if (memory_cap_bytes > 0 && r.working_set_bytes > memory_cap_bytes) {
+    // Every knob is at its floor and the pack/heap buffers still do not
+    // fit. Exceeding the cap silently would defeat its purpose, so fail
+    // loudly and let the caller raise it.
+    throw std::invalid_argument(
+        "streaming_link: memory_cap_bytes=" + std::to_string(memory_cap_bytes) +
+        " is below the floor working set (" +
+        std::to_string(r.working_set_bytes) + " bytes at tile_cols=" +
+        std::to_string(r.tile_cols) + ", top_k=" + std::to_string(r.top_k) +
+        ", threads=" + std::to_string(r.threads) + "); raise the cap");
+  }
   return r;
 }
 
@@ -146,6 +175,87 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
   // Same scale-then-cast as the dense kernel: identical float inputs.
   const std::vector<float> sec = scale_features(security, weights);
   const std::vector<float> wld = scale_features(wild, weights);
+
+  // ---- Phase 0 (optional): build the index over the scaled pool,
+  // stream a partition-grouped permutation of it so each row's
+  // shortlist becomes a handful of contiguous SIMD-group runs, and
+  // record per-row group bitmasks plus the pending bound pass 2 uses to
+  // prove or rescan every pick. Heap entries store ORIGINAL column ids,
+  // so the merge order, tie-breaking, and the result are untouched.
+  const bool use_index = config.index.kind != IndexKind::kExact;
+  std::unique_ptr<Index> index;
+  std::vector<float> wld_perm;
+  std::span<const std::uint32_t> ord;
+  const std::size_t groups_per_tile = stride / kLinkGroupCols;
+  std::size_t mask_words = 0;
+  std::vector<std::uint64_t> mask;  // m x mask_words group bitmasks
+  std::vector<double> pending(m, std::numeric_limits<double>::infinity());
+  std::vector<std::uint64_t> row_probes;
+  std::vector<std::uint64_t> row_shortlist;
+  const float* pool = wld.data();  // what pass 1 streams
+  if (use_index) {
+    PATCHDB_TRACE_SPAN("nearest_link.index_build");
+    IndexConfig icfg = config.index;
+    if (icfg.kind == IndexKind::kCoarse && icfg.clusters == 0) {
+      // Auto-size against two failure modes: the one-off n x C
+      // assignment pass must stay well under one exact m x n sweep
+      // (cap at m/3), and the partition must not be finer than nprobe
+      // can cover — a query whose natural neighborhood splits across
+      // more than nprobe clusters leaves a near cluster unprobed,
+      // the pending bound collapses, and every such row re-scans.
+      // 8*nprobe keeps the probed fraction around 1/8 regardless of
+      // scale.
+      icfg.clusters = std::clamp<std::size_t>(
+          std::min(static_cast<std::size_t>(
+                       std::sqrt(static_cast<double>(n))),
+                   8 * icfg.nprobe),
+          1, std::max<std::size_t>(1, m / 3));
+    }
+    index = make_index(icfg);
+    index->build(wld.data(), n, dims);
+    ord = index->ordering();
+    wld_perm.resize(n * dims);
+    util::default_pool().parallel_for(
+        n, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            std::copy_n(wld.data() + ord[p] * dims, dims,
+                        wld_perm.data() + p * dims);
+          }
+        });
+    pool = wld_perm.data();
+
+    mask_words = (tiles_total * groups_per_tile + 63) / 64;
+    mask.assign(m * mask_words, 0);
+    row_probes.assign(m, 0);
+    row_shortlist.assign(m, 0);
+    util::default_pool().parallel_for(
+        m, [&](std::size_t begin, std::size_t end) {
+          std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+          // Position p sits in tile p/tile, group (p%tile)/64 — a slot
+          // id that is monotone in p with +1 steps, so a contiguous
+          // position range covers exactly the slots of its endpoints.
+          const auto slot_of = [&](std::size_t p) {
+            return (p / tile) * groups_per_tile +
+                   (p % tile) / kLinkGroupCols;
+          };
+          for (std::size_t r = begin; r < end; ++r) {
+            ranges.clear();
+            const IndexShortlist sl =
+                index->shortlist(sec.data() + r * dims, k, ranges);
+            pending[r] = sl.pending_lb;
+            row_probes[r] = sl.probes;
+            row_shortlist[r] = sl.cols;
+            std::uint64_t* w = mask.data() + r * mask_words;
+            for (const auto& [p_lo, p_hi] : ranges) {
+              if (p_lo >= p_hi) continue;
+              for (std::size_t s = slot_of(p_lo); s <= slot_of(p_hi - 1);
+                   ++s) {
+                w[s >> 6] |= std::uint64_t{1} << (s & 63);
+              }
+            }
+          }
+        });
+  }
 
   std::vector<double> row_norm(m);  // ||a||
   util::default_pool().parallel_for(m, [&](std::size_t begin, std::size_t end) {
@@ -184,14 +294,15 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
       std::vector<double> group_hi(group_cap);
       std::uint64_t pruned = 0;
       std::uint64_t exact = 0;
+      std::uint64_t screened = 0;
 
       for (std::size_t t = tile_lo; t < tile_hi; ++t) {
         const std::size_t col0 = t * tile;
         const std::size_t width = std::min(col0 + tile, n) - col0;
-        pack_cols_dim_major(wld.data() + col0 * dims, width, dims, stride,
+        pack_cols_dim_major(pool + col0 * dims, width, dims, stride,
                             pack.data());
         for (std::size_t i = 0; i < width; ++i) {
-          col_norm[i] = row_norm_s(wld.data() + (col0 + i) * dims, dims);
+          col_norm[i] = row_norm_s(pool + (col0 + i) * dims, dims);
         }
         const std::size_t groups = (width + kLinkGroupCols - 1) / kLinkGroupCols;
         for (std::size_t g = 0; g < groups; ++g) {
@@ -212,9 +323,21 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
           const double na_s = row_norm[r];
           Entry* h = entries.data() + r * (k + 1);
           std::uint32_t sz = heap_size[r];
+          const std::uint64_t* rmask =
+              use_index ? mask.data() + r * mask_words : nullptr;
           for (std::size_t g = 0; g < groups; ++g) {
             const std::size_t gc0 = g * kLinkGroupCols;
             const std::size_t gw = std::min(kLinkGroupCols, width - gc0);
+            if (rmask != nullptr) {
+              // Index screen: the whole group sits outside this row's
+              // shortlist — every column in it is covered by the
+              // pending bound, so phase 1 never has to score it.
+              const std::size_t slot = t * groups_per_tile + g;
+              if (((rmask[slot >> 6] >> (slot & 63)) & 1) == 0) {
+                screened += gw;
+                continue;
+              }
+            }
             if (sz == k) {
               // Hoisted Cauchy-Schwarz screen, one decision per group:
               // ||a-b||^2 >= (||a|| - ||b||)^2, and the gap from ||a||
@@ -276,8 +399,10 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
                   continue;
                 }
               }
+              const std::size_t p = col0 + gc0 + i;
               const Entry e{std::sqrt(sq),
-                            static_cast<std::uint32_t>(col0 + gc0 + i)};
+                            use_index ? ord[p]
+                                      : static_cast<std::uint32_t>(p)};
               if (sz < k) {
                 h[sz++] = e;
                 std::push_heap(h, h + sz, lex_less);
@@ -295,6 +420,7 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
       tally[s].pruned = pruned;
       tally[s].exact = exact;
       tally[s].tiles = tile_hi - tile_lo;
+      tally[s].screened = screened;
     }
   });
 
@@ -324,24 +450,148 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
   std::uint64_t pruned_total = 0;
   std::uint64_t exact_total = 0;
   std::uint64_t tiles = 0;
+  std::uint64_t screened_total = 0;
   for (const ShardTally& t : tally) {
     pruned_total += t.pruned;
     exact_total += t.exact;
     tiles += t.tiles;
+    screened_total += t.screened;
+  }
+
+  // Exact full-row re-scan over the ORIGINAL (unpermuted) pool,
+  // identical to the dense path's collision handling. Fixed column
+  // ranges scan in parallel, each with the serial loop's first-win `<`;
+  // merging the range minima in range order keeps the lowest column
+  // among the global minima, so the parallel re-scan is deterministic
+  // and matches the serial one. (l2_cell returns float, so every value
+  // compared here is a float the dense matrix also holds, merely
+  // widened.)
+  std::vector<char> used(n, 0);
+
+  // Index-path rescans can touch most rows (the pre-pass scans every
+  // row whose pending bound fails), so they run through the blocked
+  // SIMD kernel instead of scalar l2_cell. l2_cell_block is per-lane
+  // bit-identical to l2_cell, so the first-win scan over its output in
+  // ascending column order picks the exact column the scalar loop
+  // would. The dim-major pack of the ORIGINAL (unpermuted) pool is
+  // built lazily on the first rescan — it is input-sized (like the
+  // scaled feature copies) and never allocated when every row's
+  // pending proof holds.
+  const std::size_t rescan_groups = (n + kLinkGroupCols - 1) / kLinkGroupCols;
+  std::vector<float> rescan_pack;
+  auto ensure_rescan_pack = [&] {
+    if (!rescan_pack.empty() || rescan_groups == 0) return;
+    rescan_pack.resize(rescan_groups * kLinkGroupCols * dims);
+    util::default_pool().parallel_for(
+        rescan_groups, [&](std::size_t g_begin, std::size_t g_end) {
+          for (std::size_t g = g_begin; g < g_end; ++g) {
+            const std::size_t c0 = g * kLinkGroupCols;
+            const std::size_t w = std::min(kLinkGroupCols, n - c0);
+            pack_cols_dim_major(wld.data() + c0 * dims, w, dims,
+                                kLinkGroupCols,
+                                rescan_pack.data() + g * kLinkGroupCols * dims);
+          }
+        });
+  };
+
+  auto full_row_rescan = [&](std::size_t r) {
+    const float* a = sec.data() + r * dims;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<std::pair<double, std::size_t>> range_best(shards, {kInf, 0});
+    if (use_index) ensure_rescan_pack();
+    util::default_pool().parallel_for(
+        shards, [&](std::size_t range_begin, std::size_t range_end) {
+          for (std::size_t s = range_begin; s < range_end; ++s) {
+            double best = kInf;
+            std::size_t best_col = 0;
+            if (use_index) {
+              // Fixed group ranges per shard; within a shard the scan
+              // is serial over ascending columns, so the merge below
+              // is deterministic and order-equivalent to the scalar
+              // loop.
+              const std::size_t g_lo = s * rescan_groups / shards;
+              const std::size_t g_hi = (s + 1) * rescan_groups / shards;
+              float block[kLinkGroupCols];
+              for (std::size_t g = g_lo; g < g_hi; ++g) {
+                const std::size_t c0 = g * kLinkGroupCols;
+                const std::size_t w = std::min(kLinkGroupCols, n - c0);
+                l2_cell_block(a, rescan_pack.data() + g * kLinkGroupCols * dims,
+                              dims, kLinkGroupCols, kLinkGroupCols, block);
+                for (std::size_t c = 0; c < w; ++c) {
+                  if (used[c0 + c]) continue;
+                  const double d = static_cast<double>(block[c]);
+                  if (d < best) {
+                    best = d;
+                    best_col = c0 + c;
+                  }
+                }
+              }
+            } else {
+              const std::size_t c_lo = s * n / shards;
+              const std::size_t c_hi = (s + 1) * n / shards;
+              for (std::size_t c = c_lo; c < c_hi; ++c) {
+                if (used[c]) continue;
+                const double d = l2_cell(a, wld.data() + c * dims, dims);
+                if (d < best) {
+                  best = d;
+                  best_col = c;
+                }
+              }
+            }
+            range_best[s] = {best, best_col};
+          }
+        });
+    std::pair<double, std::size_t> out{kInf, 0};
+    for (const auto& rb : range_best) {
+      if (rb.first < out.first) out = rb;
+    }
+    return out;
+  };
+
+  // Index pre-pass: a row whose pending bound cannot strictly prove its
+  // cached minimum beats every non-shortlisted column gets one verified
+  // full-row scan now, while used[] is still all-false — which is
+  // exactly the static minimum u the dense greedy orders rows by. The
+  // verified head stays valid at pick time as long as its column is
+  // unused: the global first-win minimum, while unused, is also the
+  // first-win minimum over the unused columns.
+  std::size_t index_rescans = 0;
+  std::vector<double> head_d;
+  std::vector<std::uint32_t> head_col;
+  std::vector<char> has_head;
+  if (use_index) {
+    head_d.assign(m, 0.0);
+    head_col.assign(m, 0);
+    has_head.assign(m, 0);
+    for (std::size_t r = 0; r < m; ++r) {
+      const Entry* h = entries.data() + r * (k + 1);
+      if (heap_size[r] > 0 &&
+          pending[r] > static_cast<double>(h[0].d)) {
+        continue;  // proven: the cached minimum is the true minimum
+      }
+      const auto [best, col] = full_row_rescan(r);
+      head_d[r] = best;
+      head_col[r] = static_cast<std::uint32_t>(col);
+      has_head[r] = 1;
+      ++index_rescans;
+    }
   }
 
   // ---- Pass 2: heap-driven greedy selection (Algorithm 1 lines 5-17).
   // The dense loop's argmin over unassigned rows uses each row's
   // ORIGINAL full-row minimum (u is never refreshed on collisions), so
   // the processing order is static: ascending (u, row). A binary heap
-  // replaces the O(M^2) linear sweep.
+  // replaces the O(M^2) linear sweep. Rows the index could not prove
+  // use their verified head as u — the exact value dense would use.
   std::vector<std::pair<double, std::size_t>> order(m);
   for (std::size_t r = 0; r < m; ++r) {
-    order[r] = {static_cast<double>(entries[r * (k + 1)].d), r};
+    const double u = use_index && has_head[r]
+                         ? head_d[r]
+                         : static_cast<double>(entries[r * (k + 1)].d);
+    order[r] = {u, r};
   }
   std::make_heap(order.begin(), order.end(), std::greater<>());
 
-  std::vector<char> used(n, 0);
   std::vector<std::uint32_t> cursor(m, 0);
   result.candidate.assign(m, 0);
   std::size_t topk_hits = 0;
@@ -359,53 +609,31 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
 
     float chosen_d;
     std::size_t chosen_col;
-    if (pos < heap_size[r]) {
-      // Cached candidate: every column outside the heap is
-      // lexicographically >= the heap's worst entry, so the first
-      // unused cached entry IS the row's minimum over unused columns.
+    if (pos < heap_size[r] &&
+        (!use_index || pending[r] > static_cast<double>(h[pos].d))) {
+      // Cached candidate: every computed-but-dropped column is
+      // lexicographically >= the heap's worst entry >= h[pos], and with
+      // an index the strict pending bound excludes every never-computed
+      // column too, so the first unused cached entry IS the row's
+      // minimum over unused columns. (Unproven rows never take this
+      // branch: pending <= h[0].d <= h[pos].d.)
       chosen_d = h[pos].d;
       chosen_col = h[pos].col;
       ++topk_hits;
-    } else {
-      // Heap exhausted by earlier links: tracked full-row re-scan,
-      // identical to the dense path's collision handling. Fixed column
-      // ranges scan in parallel, each with the serial loop's first-win
-      // `<`; merging the range minima in range order again keeps the
-      // lowest column among the global minima, so the parallel re-scan
-      // is deterministic and matches the serial one.
+    } else if (use_index && has_head[r] && !used[head_col[r]]) {
+      // The pre-pass already scanned this row and its verified global
+      // minimum is still unused, hence still the minimum over unused.
+      chosen_d = static_cast<float>(head_d[r]);
+      chosen_col = head_col[r];
       ++fallbacks;
-      const float* a = sec.data() + r * dims;
-      constexpr double kInf = std::numeric_limits<double>::infinity();
-      std::vector<std::pair<double, std::size_t>> range_best(
-          shards, {kInf, 0});
-      util::default_pool().parallel_for(
-          shards, [&](std::size_t range_begin, std::size_t range_end) {
-            for (std::size_t s = range_begin; s < range_end; ++s) {
-              const std::size_t c_lo = s * n / shards;
-              const std::size_t c_hi = (s + 1) * n / shards;
-              double best = kInf;
-              std::size_t best_col = 0;
-              for (std::size_t c = c_lo; c < c_hi; ++c) {
-                if (used[c]) continue;
-                const double d = l2_cell(a, wld.data() + c * dims, dims);
-                if (d < best) {
-                  best = d;
-                  best_col = c;
-                }
-              }
-              range_best[s] = {best, best_col};
-            }
-          });
-      double best = kInf;
-      std::size_t best_col = 0;
-      for (const auto& [d, c] : range_best) {
-        if (d < best) {
-          best = d;
-          best_col = c;
-        }
-      }
+    } else {
+      // Heap exhausted by earlier links (or the pending bound can no
+      // longer prove the next cached entry): tracked full-row re-scan.
+      ++fallbacks;
+      if (use_index) ++index_rescans;
+      const auto [best, col] = full_row_rescan(r);
       chosen_d = static_cast<float>(best);
-      chosen_col = best_col;
+      chosen_col = col;
     }
     result.candidate[r] = chosen_col;
     result.total_distance += static_cast<double>(chosen_d);
@@ -419,12 +647,29 @@ LinkResult streaming_nearest_link(const feature::FeatureMatrix& security,
   PATCHDB_COUNTER_ADD("nearest_link.fallback_rescans", fallbacks);
   PATCHDB_COUNTER_ADD("nearest_link.streaming.pruned_cells", pruned_total);
 
+  std::uint64_t probes_total = 0;
+  std::uint64_t shortlist_total = 0;
+  if (use_index) {
+    for (std::size_t r = 0; r < m; ++r) {
+      probes_total += row_probes[r];
+      shortlist_total += row_shortlist[r];
+    }
+    PATCHDB_COUNTER_ADD("index.probes", probes_total);
+    PATCHDB_COUNTER_ADD("index.shortlist_cols", shortlist_total);
+    PATCHDB_COUNTER_ADD("index.screened_cells", screened_total);
+    PATCHDB_COUNTER_ADD("index.fallback_rescans", index_rescans);
+  }
+
   if (stats != nullptr) {
     stats->tiles = tiles;
     stats->pruned_cells = pruned_total;
     stats->exact_cells = exact_total;
     stats->topk_hits = topk_hits;
     stats->fallback_rescans = fallbacks;
+    stats->index_probes = probes_total;
+    stats->index_shortlist_cols = shortlist_total;
+    stats->index_screened_cells = use_index ? screened_total : 0;
+    stats->index_fallback_rescans = index_rescans;
     stats->top_k = k;
     stats->tile_cols = tile;
     stats->threads = shards;

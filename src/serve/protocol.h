@@ -20,6 +20,13 @@
 // response is still possible and the connection is closed; a client
 // that lies about lengths can never wedge a worker for more than the
 // server's read timeout.
+//
+// A peer that simply hangs up mid-frame (EOF after part of a header or
+// before a declared body finished arriving) is NOT malformed: the
+// server records it under `serve.disconnects_midframe` and closes
+// quietly, so slow-socket disconnects never masquerade as corruption
+// in `serve.protocol_errors`. Genuine recv() failures count as
+// `serve.socket_errors`.
 #pragma once
 
 #include <cstddef>

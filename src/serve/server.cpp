@@ -44,11 +44,12 @@ bool send_all(int fd, std::string_view data) noexcept {
 }
 
 enum class ReadOutcome {
-  kOk,       // buffer filled
-  kClosed,   // orderly shutdown before the first byte of this read
-  kTimeout,  // no progress for the read timeout
-  kDrain,    // server draining and no bytes of this read had arrived
-  kError,    // socket error or peer vanished mid-buffer
+  kOk,        // buffer filled
+  kClosed,    // orderly shutdown before the first byte of this read
+  kPeerGone,  // orderly shutdown after some bytes of this read arrived
+  kTimeout,   // no progress for the read timeout
+  kDrain,     // server draining and no bytes of this read had arrived
+  kError,     // socket error (recv failed outright)
 };
 
 /// Read exactly `want` bytes, polling in short slices. Resets its
@@ -82,7 +83,10 @@ ReadOutcome read_exact(int fd, unsigned char* out, std::size_t want,
     }
     const ssize_t n = ::recv(fd, out + got, want - got, 0);
     if (n == 0) {
-      return got == 0 ? ReadOutcome::kClosed : ReadOutcome::kError;
+      // EOF is an ordinary disconnect either way — the caller decides
+      // whether it landed on a frame boundary (kClosed) or cut a frame
+      // short (kPeerGone); neither is a protocol violation by itself.
+      return got == 0 ? ReadOutcome::kClosed : ReadOutcome::kPeerGone;
     }
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
@@ -153,6 +157,8 @@ void Server::start() {
   PATCHDB_COUNTER_ADD("serve.protocol_errors", 0);
   PATCHDB_COUNTER_ADD("serve.timeouts", 0);
   PATCHDB_COUNTER_ADD("serve.requests", 0);
+  PATCHDB_COUNTER_ADD("serve.disconnects_midframe", 0);
+  PATCHDB_COUNTER_ADD("serve.socket_errors", 0);
   PATCHDB_GAUGE_SET("serve.active_connections", 0.0);
   PATCHDB_GAUGE_SET("serve.port", static_cast<double>(port_));
 
@@ -226,7 +232,17 @@ void Server::serve_connection(int fd) {
       PATCHDB_COUNTER_ADD("serve.timeouts", 1);
       break;
     }
-    if (outcome != ReadOutcome::kOk) break;  // closed, drain, error
+    if (outcome == ReadOutcome::kPeerGone) {
+      // Peer hung up after sending part of a header: an ordinary
+      // disconnect on a slow socket, not frame corruption.
+      PATCHDB_COUNTER_ADD("serve.disconnects_midframe", 1);
+      break;
+    }
+    if (outcome == ReadOutcome::kError) {
+      PATCHDB_COUNTER_ADD("serve.socket_errors", 1);
+      break;
+    }
+    if (outcome != ReadOutcome::kOk) break;  // kClosed / kDrain: clean end
 
     std::size_t body_len = 0;
     try {
@@ -244,6 +260,17 @@ void Server::serve_connection(int fd) {
                          /*stop_at_boundary=*/false);
     if (outcome == ReadOutcome::kTimeout) {
       PATCHDB_COUNTER_ADD("serve.timeouts", 1);
+      break;
+    }
+    if (outcome == ReadOutcome::kClosed || outcome == ReadOutcome::kPeerGone) {
+      // The header promised body_len bytes and the peer hung up before
+      // delivering them (kClosed here still means mid-frame: the header
+      // was already consumed). Ordinary disconnect, not corruption.
+      PATCHDB_COUNTER_ADD("serve.disconnects_midframe", 1);
+      break;
+    }
+    if (outcome == ReadOutcome::kError) {
+      PATCHDB_COUNTER_ADD("serve.socket_errors", 1);
       break;
     }
     if (outcome != ReadOutcome::kOk) break;

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +25,7 @@
 #include "core/query.h"
 #include "diff/render.h"
 #include "feature/features.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/dataset.h"
 #include "serve/protocol.h"
@@ -487,6 +489,112 @@ TEST(ServeServer, MalformedFrameGetsErrorResponseAndClose) {
   EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // orderly close
   ::close(fd);
   server.stop();
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ServeServer, MidFrameDisconnectIsNotAProtocolError) {
+  // Regression: a peer that hangs up partway through a frame — after a
+  // partial header, or after a header whose declared body never fully
+  // arrives — is an ordinary slow-socket disconnect. It used to fall
+  // into the generic error path; it must never be logged as frame
+  // corruption.
+  obs::MetricsRegistry registry;
+  auto* previous = obs::install_registry(&registry);
+  const serve::ServedDataset dataset = make_dataset();
+  serve::ServerOptions options;
+  options.threads = 2;
+  serve::Server server(dataset, options);
+  server.start();
+
+  // Connection 1: a complete header promising 100 body bytes, then only
+  // 10 of them, then EOF.
+  int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  const unsigned char header[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::send(fd, header, sizeof(header), MSG_NOSIGNAL), 4);
+  const char partial[10] = {};
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), MSG_NOSIGNAL), 10);
+  ::close(fd);
+
+  // Connection 2: EOF after half a header.
+  fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::send(fd, header, 2, MSG_NOSIGNAL), 2);
+  ::close(fd);
+
+  // Wait until both handlers have observed the EOFs (stop() alone could
+  // win the race against the acceptor picking up connection 2), then
+  // drain.
+  for (int i = 0; i < 500; ++i) {
+    if (registry.snapshot().counter("serve.disconnects_midframe") >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.stop();
+  obs::install_registry(previous);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("serve.disconnects_midframe"), 2u);
+  EXPECT_EQ(snap.counter("serve.protocol_errors"), 0u);
+  EXPECT_EQ(snap.counter("serve.socket_errors"), 0u);
+}
+
+TEST(ServeServer, ZeroLengthFrameIsStillMalformed) {
+  // The flip side of the disconnect fix: an explicit zero body length
+  // violates the framing (bodies are 1..kMaxFrameBytes) and must keep
+  // counting as a protocol error, answered with kBadRequest.
+  obs::MetricsRegistry registry;
+  auto* previous = obs::install_registry(&registry);
+  const serve::ServedDataset dataset = make_dataset();
+  serve::ServerOptions options;
+  options.threads = 2;
+  serve::Server server(dataset, options);
+  server.start();
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  const unsigned char zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::send(fd, zero, sizeof(zero), MSG_NOSIGNAL), 4);
+
+  unsigned char header[4];
+  std::size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = ::recv(fd, header + got, sizeof(header) - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  const std::size_t body_len = serve::parse_frame_header(header);
+  std::string body(body_len, '\0');
+  got = 0;
+  while (got < body_len) {
+    const ssize_t n = ::recv(fd, body.data() + got, body_len - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  const serve::Response response =
+      serve::decode_response(serve::Op::kPing, body);
+  EXPECT_EQ(response.status, serve::Status::kBadRequest);
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // orderly close
+  ::close(fd);
+
+  server.stop();
+  obs::install_registry(previous);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("serve.protocol_errors"), 1u);
+  EXPECT_EQ(snap.counter("serve.disconnects_midframe"), 0u);
 }
 
 TEST(ServeServer, GracefulDrainAnswersInFlightThenRefusesNew) {

@@ -182,6 +182,33 @@ TEST(StreamingLink, MemoryCapShrinksKnobsButNotResults) {
   EXPECT_EQ(dense.total_distance, stream.total_distance);
 }
 
+TEST(StreamingLink, ResolveThrowsWhenCapBelowFloorWorkingSet) {
+  // Regression: a cap so small the shrink cascade bottoms out at the
+  // floors (tile=64, k=1, threads=1) used to be silently exceeded.
+  // Probe the exact floor footprint, then check the boundary: cap ==
+  // floor resolves, cap == floor - 1 throws.
+  const std::size_t m = 20;
+  const std::size_t n = 500;
+  core::StreamingLinkConfig floor_config;
+  floor_config.top_k = 1;
+  floor_config.tile_cols = 64;
+  floor_config.threads = 1;
+  const std::size_t floor_bytes =
+      floor_config.resolve(m, n, feature::kFeatureCount).working_set_bytes;
+
+  core::StreamingLinkConfig config;  // defaults, only the cap binds
+  config.memory_cap_bytes = floor_bytes;
+  const auto at_floor = config.resolve(m, n, feature::kFeatureCount);
+  EXPECT_LE(at_floor.working_set_bytes, floor_bytes);
+
+  config.memory_cap_bytes = floor_bytes - 1;
+  EXPECT_THROW(config.resolve(m, n, feature::kFeatureCount),
+               std::invalid_argument);
+  EXPECT_THROW(core::streaming_nearest_link(random_features(m, 1),
+                                            random_features(n, 2), config),
+               std::invalid_argument);
+}
+
 TEST(StreamingLink, LearnedWeightsOverloadMatchesDense) {
   const auto sec = random_features(6, 41);
   const auto wild = random_features(60, 42);

@@ -10,6 +10,7 @@
 // 2 (the usage-error exit the tools already use).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
@@ -116,8 +117,12 @@ class CliObs {
     const bool want_artifacts = !trace_out_.empty() || !metrics_out_.empty();
     if (obs_.installed() && want_artifacts) {
       obs::ResourceSampler::Options opt;
-      opt.interval = std::chrono::milliseconds(
-          static_cast<long>(flags.value("--sample-ms", std::size_t{50})));
+      // Clamp before the signed cast: a size_t like 2^63 would wrap to
+      // a negative interval. One hour is already far beyond any useful
+      // sampling period.
+      constexpr std::size_t kMaxSampleMs = 3'600'000;
+      opt.interval = std::chrono::milliseconds(static_cast<long long>(
+          std::min(flags.value("--sample-ms", std::size_t{50}), kMaxSampleMs)));
       sampler_ = std::make_unique<obs::ResourceSampler>(opt);
       obs_.attach_sampler(sampler_.get());
       sampler_->start();

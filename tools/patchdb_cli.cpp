@@ -11,7 +11,10 @@
 //       sizes the worker pool the streaming nearest-link engine shards
 //       across (wins over PATCHDB_THREADS; default: hardware
 //       concurrency). The export is bit-identical for every worker
-//       count. --trace-out
+//       count. --index {exact,coarse,rproj} [--index-nprobe N] enables
+//       the phase-0 shortlist index in front of the streaming engine
+//       (implies --streaming; results stay bit-identical — the index
+//       only trades probes/rescans for wall-clock). --trace-out
 //       writes a Chrome trace of the run (load in Perfetto); --progress
 //       prints heartbeat lines from the long loops.
 //   patchdb stats DIR
@@ -55,6 +58,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -93,6 +97,7 @@ int usage() {
                "  build --out DIR [--nvd N] [--wild N] [--rounds R] [--seed S]\n"
                "        [--threads N]\n"
                "        [--streaming] [--link-topk K] [--link-tile N] [--link-mem-mb MB]\n"
+               "        [--index exact|coarse|rproj] [--index-nprobe N]\n"
                "        [--checkpoint-dir D] [--resume]\n"
                "        [--trace-out FILE] [--sample-ms N] [--progress] [--progress-ms N]\n"
                "  stats DIR\n"
@@ -107,6 +112,7 @@ int usage() {
                "          [--threads N]\n"
                "          [--streaming] [--link-topk K] [--link-tile N]"
                " [--link-mem-mb MB]\n"
+               "          [--index exact|coarse|rproj] [--index-nprobe N]\n"
                "          [--metrics-out FILE] [--trace-out FILE] [--sample-ms N]\n"
                "          [--progress] [--progress-ms N]\n"
                "  metrics --validate FILE.json\n");
@@ -145,18 +151,45 @@ bool apply_threads_flag(const Flags& flags) {
   return true;
 }
 
-/// `--streaming [--link-topk K] [--link-tile N] [--link-mem-mb MB]`:
-/// route the augmentation rounds through the streaming tiled
+/// `--streaming [--link-topk K] [--link-tile N] [--link-mem-mb MB]`
+/// routes the augmentation rounds through the streaming tiled
 /// nearest-link engine (bit-identical results, bounded memory).
-void apply_link_flags(const Flags& flags, core::BuildOptions& options) {
-  if (!flags.has("--streaming")) return;
+/// `--index {exact,coarse,rproj} [--index-nprobe N]` adds the phase-0
+/// shortlist index on top (still bit-identical; implies --streaming).
+/// Returns false on a usage error (the caller exits 2).
+bool apply_link_flags(const Flags& flags, core::BuildOptions& options) {
+  const std::string index_kind = flags.value("--index", std::string());
+  if (!flags.has("--streaming") && index_kind.empty()) return true;
   options.use_streaming_link = true;
   options.streaming_link.top_k =
       flags.value("--link-topk", options.streaming_link.top_k);
   options.streaming_link.tile_cols =
       flags.value("--link-tile", options.streaming_link.tile_cols);
   const std::size_t cap_mb = flags.value("--link-mem-mb", std::size_t{0});
+  if (cap_mb > (std::numeric_limits<std::size_t>::max() >> 20)) {
+    std::fprintf(stderr, "%s: --link-mem-mb %zu overflows a byte count\n",
+                 flags.tool().c_str(), cap_mb);
+    return false;
+  }
   if (cap_mb > 0) options.streaming_link.memory_cap_bytes = cap_mb << 20;
+  if (!index_kind.empty()) {
+    try {
+      options.streaming_link.index.kind = core::parse_index_kind(index_kind);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: --index: %s\n", flags.tool().c_str(), e.what());
+      return false;
+    }
+  }
+  if (flags.has("--index-nprobe")) {
+    const std::size_t nprobe = flags.value("--index-nprobe", std::size_t{0});
+    if (nprobe == 0) {
+      std::fprintf(stderr, "%s: --index-nprobe expects a positive integer\n",
+                   flags.tool().c_str());
+      return false;
+    }
+    options.streaming_link.index.nprobe = nprobe;
+  }
+  return true;
 }
 
 int cmd_build(const Flags& flags) {
@@ -175,7 +208,7 @@ int cmd_build(const Flags& flags) {
   options.synthesis.max_per_patch = flags.value("--synth", std::size_t{4});
   options.checkpoint_dir = flags.value("--checkpoint-dir", std::string());
   options.resume = flags.has("--resume");
-  apply_link_flags(flags, options);
+  if (!apply_link_flags(flags, options)) return 2;
 
   std::printf("building PatchDB: %zu NVD CVEs, %zu wild commits, %zu rounds, seed %zu%s%s\n",
               options.world.nvd_security, options.world.wild_pool,
@@ -403,7 +436,7 @@ int cmd_metrics(const Flags& flags) {
   options.world.seed = flags.value("--seed", std::size_t{42});
   options.augment.max_rounds = flags.value("--rounds", std::size_t{3});
   options.synthesis.max_per_patch = flags.value("--synth", std::size_t{2});
-  apply_link_flags(flags, options);
+  if (!apply_link_flags(flags, options)) return 2;
 
   CliObs cli_obs("patchdb metrics", flags);
   const core::PatchDb db = core::build_patchdb(options);

@@ -12,7 +12,10 @@
 //
 // Exit 0 on a kOk response, 1 on a server-reported error or transport
 // failure, 2 on usage errors. Put positional arguments before flags.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iterator>
@@ -123,13 +126,20 @@ int run(const std::string& command, const cli::Flags& flags) {
     if (!vector_text.empty()) {
       std::vector<double> vector;
       for (std::string_view part : util::split(vector_text, ',')) {
-        try {
-          vector.push_back(std::stod(std::string(part)));
-        } catch (const std::exception&) {
+        // std::stod would accept trailing junk ("1.5abc") and
+        // non-finite spellings ("inf", "nan"); require the element to
+        // parse completely to a finite double.
+        const std::string text(part);
+        char* end = nullptr;
+        errno = 0;
+        const double v = std::strtod(text.c_str(), &end);
+        if (text.empty() || end != text.c_str() + text.size() ||
+            errno == ERANGE || !std::isfinite(v)) {
           std::fprintf(stderr, "patchdb_client: bad --vector element \"%s\"\n",
-                       std::string(part).c_str());
+                       text.c_str());
           return 2;
         }
+        vector.push_back(v);
       }
       r = client.nearest_by_vector(vector, k);
     } else {
